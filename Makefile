@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench report figures examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro report -o study_report.md
+
+figures:
+	$(PYTHON) -m repro figures -o figure_data
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/fingerprint_audit.py Samsung
+	$(PYTHON) examples/certificate_audit.py Roku
+	$(PYTHON) examples/supply_chain_discovery.py
+	$(PYTHON) examples/smart_tv_case_study.py
+	$(PYTHON) examples/acme_migration.py Tuya
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis study_report.md \
+	       figure_data capture.jsonl certificates.jsonl

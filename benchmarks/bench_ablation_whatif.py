@@ -1,0 +1,99 @@
+"""Ablations & what-if experiments on the paper's recommendations.
+
+These go beyond reproduction: they *evaluate* the paper's Discussion
+items on the simulated ecosystem — ACME adoption by vendor CAs, AIA
+chasing vs Zeek's strict validation, trust-store choice, revocation
+exposure, and the fingerprint-definition ablation.
+"""
+
+from repro.core.tables import percent, render_table
+from repro.core.whatif import (
+    acme_adoption,
+    aia_chasing,
+    fingerprint_definition,
+    revocation_exposure,
+    trust_store_choice,
+)
+
+
+def test_whatif_acme_adoption(benchmark, study, emit):
+    result = benchmark(acme_adoption, study)
+    before, after = result["before"], result["after"]
+    rows = [
+        ["validity (min/med/max days)",
+         "/".join(f"{v:.0f}" for v in before["validity_min_med_max"]),
+         "/".join(f"{v:.0f}" for v in after["validity_min_med_max"])],
+        ["CT coverage", percent(before["ct_share"]),
+         percent(after["ct_share"])],
+    ]
+    table = render_table(
+        ["vendor-signed certificates", "today", "with ACME"], rows,
+        title=f"What-if: private CAs adopt ACME "
+              f"({result['private_leaf_count']} leafs)")
+    table += ("\nThe paper's 36,500-day tail collapses to 90 days and "
+              "every leaf lands in CT.")
+    emit("ablation_acme", table)
+    assert after["validity_min_med_max"][2] <= 90
+    assert after["ct_share"] == 1.0
+
+
+def test_whatif_aia_chasing(benchmark, study, certificates, emit):
+    result = benchmark(aia_chasing, study, certificates)
+    statuses = sorted(set(result["before"]) | set(result["after"]),
+                      key=lambda status: status.name)
+    rows = [[status.value, result["before"].get(status, 0),
+             result["after"].get(status, 0)] for status in statuses]
+    table = render_table(["status", "strict (Zeek-like)", "AIA chasing"],
+                         rows, title="What-if: AIA intermediate fetching")
+    table += (f"\nverdicts fixed by fetching the intermediate: "
+              f"{len(result['fixed_by_aia'])} — private-root failures "
+              "remain failures (trust cannot be fetched).")
+    emit("ablation_aia", table)
+    from repro.x509.validation import ChainStatus
+    assert result["after"].get(ChainStatus.INCOMPLETE_CHAIN, 0) <= \
+        result["before"].get(ChainStatus.INCOMPLETE_CHAIN, 0)
+
+
+def test_whatif_trust_stores(benchmark, study, certificates, emit):
+    histograms = benchmark(trust_store_choice, study, certificates)
+    statuses = sorted({status for counts in histograms.values()
+                       for status in counts}, key=lambda s: s.name)
+    rows = [[status.value] + [histograms[store].get(status, 0)
+                              for store in sorted(histograms)]
+            for status in statuses]
+    emit("ablation_trust_stores", render_table(
+        ["status"] + sorted(histograms), rows,
+        title="Ablation: trust store choice"))
+    assert histograms["mozilla"] == histograms["union"]
+
+
+def test_whatif_revocation_exposure(benchmark, study, emit):
+    result = benchmark(revocation_exposure, study)
+    rows = [
+        ["public-CA leafs revoked", result["revoked_leafs"]["public"]],
+        ["private-CA leafs revoked", result["revoked_leafs"]["private"]],
+        ["devices with a working revocation path",
+         result["devices_protected_by_revocation"]],
+        ["devices exposed (no revocation path)",
+         result["devices_exposed_no_revocation_path"]],
+    ]
+    emit("ablation_revocation", render_table(
+        ["quantity", "value"], rows,
+        title="What-if: 5% of leaf keys are compromised"))
+    assert result["devices_exposed_no_revocation_path"] >= 0
+
+
+def test_ablation_fingerprint_definition(benchmark, dataset, emit):
+    result = benchmark(fingerprint_definition, dataset)
+    rows = [[name, data["fingerprints"],
+             percent(data["degree_one_share"])]
+            for name, data in result.items()]
+    table = render_table(
+        ["fingerprint definition", "#fingerprints", "degree-1 share"],
+        rows, title="Ablation: what counts as a fingerprint?")
+    table += ("\nThe single-vendor share is robust across definitions — "
+              "the paper's 3-tuple is not doing the work; the ecosystem "
+              "is genuinely fragmented.")
+    emit("ablation_fingerprint_definition", table)
+    shares = [data["degree_one_share"] for data in result.values()]
+    assert min(shares) > 0.6

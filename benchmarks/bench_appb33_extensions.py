@@ -1,0 +1,38 @@
+"""Appendix B.3.3 — extension divergence from known libraries.
+
+Paper: some devices share a library's exact ciphersuite list but diverge
+in extensions, mainly by *adding* application-specific extensions (ALPN,
+NPN) and ``padding``; ``session_ticket`` and ``renegotiation_info`` are
+much more common on devices than in library defaults.
+"""
+
+from repro.core.params import extension_divergence, extension_usage
+from repro.core.tables import render_table
+
+
+def test_appendix_b33_extension_divergence(benchmark, dataset, corpus,
+                                           emit):
+    divergence = benchmark(extension_divergence, dataset, corpus)
+    added = sorted(divergence["added"].items(), key=lambda kv: -kv[1])
+    removed = sorted(divergence["removed"].items(), key=lambda kv: -kv[1])
+    rows = [["suite-list matches with divergent extensions",
+             divergence["cases"], ""]]
+    for name, count in added[:8]:
+        rows.append([f"extension added: {name}", count, "+"])
+    for name, count in removed[:5]:
+        rows.append([f"extension removed: {name}", count, "-"])
+    table = render_table(["case", "count", ""], rows,
+                         title="Appendix B.3.3 — extension divergence")
+    usage = extension_usage(dataset)
+    for name in ("session_ticket", "renegotiation_info", "padding",
+                 "application_layer_protocol_negotiation",
+                 "next_protocol_negotiation"):
+        table += f"\n{name}: {usage.get(name, 0)} devices"
+    emit("appb33_extensions", table)
+    assert divergence["cases"] > 0
+    app_specific = {"application_layer_protocol_negotiation",
+                    "next_protocol_negotiation", "padding",
+                    "session_ticket", "renegotiation_info",
+                    "status_request", "signed_certificate_timestamp",
+                    "extended_master_secret"}
+    assert set(divergence["added"]) & app_specific

@@ -1,0 +1,53 @@
+"""Appendix B.9, both sides — the OCSP ecosystem.
+
+Paper (client side): 648 of 2,014 devices (33 vendors) include
+``status_request``.  This benchmark closes the loop with the server side:
+which of the probed servers actually staple when asked, and what does a
+requesting device get back?
+"""
+
+from repro.core.issuers import leaf_issuer_org
+from repro.core.params import ocsp_usage
+from repro.core.tables import percent, render_table
+
+
+def test_ocsp_ecosystem(benchmark, study, dataset, certificates, emit):
+    def survey():
+        results = certificates.results_at()
+        stapling, silent = 0, 0
+        private_unstapled = 0
+        for result in results.values():
+            if result.leaf is None:
+                continue
+            if result.stapled:
+                stapling += 1
+            else:
+                silent += 1
+                if not study.ecosystem.is_public_trust(
+                        leaf_issuer_org(result.leaf)):
+                    private_unstapled += 1
+        return stapling, silent, private_unstapled
+
+    stapling, silent, private_unstapled = benchmark(survey)
+    devices, vendors = ocsp_usage(dataset)
+    total = stapling + silent
+    rows = [
+        ["devices requesting OCSP (status_request)",
+         f"{len(devices)} of {dataset.device_count}", "648 of 2,014"],
+        ["vendors with requesting devices", len(vendors), "33"],
+        ["servers stapling when asked",
+         f"{stapling} ({percent(stapling / total)})", "(partial adoption)"],
+        ["servers not stapling", silent, "—"],
+        ["... of which vendor-CA servers (no responder at all)",
+         private_unstapled, "—"],
+    ]
+    table = render_table(["quantity", "measured", "paper"], rows,
+                         title="Appendix B.9 — the OCSP ecosystem, "
+                               "both sides")
+    table += ("\nDevices that ask for revocation state get an answer from "
+              f"only {percent(stapling / total)} of servers; vendor-CA "
+              "servers can never answer — the revocation gap of "
+              "Section 5.3.")
+    emit("appb9_ocsp_ecosystem", table)
+    assert stapling > 0
+    assert private_unstapled > 0

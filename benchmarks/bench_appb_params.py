@@ -1,0 +1,45 @@
+"""Appendix B.3 / B.9 / B.10 — FALLBACK_SCSV, OCSP, and GREASE usage.
+
+Paper: FALLBACK_SCSV on 20 devices of 6 vendors; status_request from 648
+devices of 33 vendors; GREASE in suites from 501 devices of 23 vendors
+and in extensions from 503 devices of 15 vendors (2 extension-only).
+"""
+
+from repro.core.params import (
+    extension_usage,
+    fallback_scsv_usage,
+    grease_usage,
+    ocsp_usage,
+)
+from repro.core.tables import render_table
+
+
+def test_appendix_b_parameters(benchmark, dataset, emit):
+    def compute():
+        return (fallback_scsv_usage(dataset), ocsp_usage(dataset),
+                grease_usage(dataset))
+
+    (fb_devices, fb_vendors), (ocsp_devices, ocsp_vendors), grease = \
+        benchmark(compute)
+    rows = [
+        ["TLS_FALLBACK_SCSV devices", len(fb_devices), "20"],
+        ["TLS_FALLBACK_SCSV vendors", len(fb_vendors), "6"],
+        ["OCSP status_request devices", len(ocsp_devices), "648"],
+        ["OCSP status_request vendors", len(ocsp_vendors), "33"],
+        ["GREASE-in-suites devices", len(grease["suite_devices"]), "501"],
+        ["GREASE-in-suites vendors", len(grease["suite_vendors"]), "23"],
+        ["GREASE-in-extensions devices",
+         len(grease["extension_devices"]), "503"],
+        ["GREASE-in-extensions vendors",
+         len(grease["extension_vendors"]), "15"],
+        ["extension-only GREASE devices",
+         len(grease["extension_only_devices"]), "2"],
+    ]
+    table = render_table(["quantity", "measured", "paper"], rows,
+                         title="Appendix B.3/B.9/B.10 — TLS parameters")
+    usage = extension_usage(dataset)
+    popular = sorted(usage.items(), key=lambda kv: -kv[1])[:8]
+    table += "\nmost common extensions (devices): " + ", ".join(
+        f"{name}={count}" for name, count in popular)
+    emit("appb_params", table)
+    assert len(ocsp_vendors) >= 20

@@ -1,0 +1,22 @@
+"""Figure 10 — per-device DoC distribution across all 65 vendors."""
+
+from repro.core.customization import doc_distribution
+from repro.core.tables import render_table
+
+
+def test_figure10_doc_heatmap(benchmark, dataset, emit):
+    distribution = benchmark(doc_distribution, dataset)
+    rows = []
+    for vendor in sorted(distribution):
+        values = distribution[vendor]
+        if not values:
+            continue
+        mean = sum(values) / len(values)
+        full = sum(1 for v in values if v == 1.0) / len(values)
+        zero = sum(1 for v in values if v == 0.0) / len(values)
+        rows.append([vendor, len(values), f"{mean:.2f}", f"{full:.0%}",
+                     f"{zero:.0%}"])
+    emit("fig10_doc_heatmap", render_table(
+        ["vendor", "#devices", "mean DoC", "DoC=1 share", "DoC=0 share"],
+        rows, title="Figure 10 — per-device DoC distribution by vendor"))
+    assert len(rows) == 65

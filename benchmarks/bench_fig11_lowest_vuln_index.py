@@ -1,0 +1,34 @@
+"""Figure 11 — lowest index of vulnerable ciphersuites per vendor.
+
+Paper: ≥1 device of 13 vendors proposes a vulnerable suite *first*;
+devices of 7 vendors never include any vulnerable suite.
+"""
+
+from repro.core.preferences import (
+    lowest_vulnerable_index,
+    vendors_preferring_vulnerable_first,
+    vendors_without_vulnerable,
+)
+from repro.core.tables import render_table
+
+
+def test_figure11_lowest_vulnerable_index(benchmark, dataset, emit):
+    indexes = benchmark(lowest_vulnerable_index, dataset)
+    rows = []
+    for vendor in sorted(indexes,
+                         key=lambda v: sum(indexes[v]) / len(indexes[v])):
+        values = indexes[vendor]
+        rows.append([vendor, len(values), min(values),
+                     f"{sum(values) / len(values):.1f}", max(values)])
+    first = vendors_preferring_vulnerable_first(dataset)
+    clean = vendors_without_vulnerable(dataset)
+    table = render_table(
+        ["vendor", "tuples w/ vuln", "min index", "mean", "max"],
+        rows[:20], title="Figure 11 — lowest vulnerable-suite index "
+                         "(20 worst vendors)")
+    table += (f"\nvendors proposing a vulnerable suite FIRST: {len(first)} "
+              f"(paper: 13): {first}")
+    table += (f"\nvendors never proposing vulnerable suites: {len(clean)} "
+              f"(paper: 7): {clean}")
+    emit("fig11_lowest_vuln_index", table)
+    assert first and clean

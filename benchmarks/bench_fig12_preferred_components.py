@@ -1,0 +1,29 @@
+"""Figure 12 — most-preferred ciphersuite component algorithms per vendor.
+
+Paper: Synology devices lead with DH_ANON / KRB5_EXPORT key exchange;
+all Belkin devices lead with RC4_128; several vendors prefer MD5 MACs.
+"""
+
+from repro.core.preferences import preferred_components
+from repro.core.tables import render_table
+
+
+def test_figure12_preferred_components(benchmark, dataset, emit):
+    shares = benchmark(preferred_components, dataset)
+    rows = []
+    for vendor in sorted(shares["cipher"]):
+        cipher = shares["cipher"][vendor].most_common(1)[0]
+        kx = shares["kx"][vendor].most_common(1)[0]
+        mac = shares["mac"][vendor].most_common(1)[0]
+        rows.append([vendor, kx[0], cipher[0], mac[0]])
+    table = render_table(
+        ["vendor", "top kx+auth", "top cipher", "top MAC"], rows,
+        title="Figure 12 — most-preferred first-suite components")
+    vulnerable_first = sorted(
+        vendor for vendor, counter in shares["cipher"].items()
+        if any(c.startswith(("RC4", "RC2", "DES", "3DES", "NULL"))
+               for c in counter))
+    table += f"\nvendors with a vulnerable preferred cipher: " \
+             f"{vulnerable_first}"
+    emit("fig12_preferred_components", table)
+    assert rows

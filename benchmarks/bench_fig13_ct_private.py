@@ -1,0 +1,22 @@
+"""Figure 13 — CT presence of leafs in private-issuer / failing chains.
+
+Paper: the overwhelming majority of leafs in such chains are NOT logged
+in CT; two expired public-CA leafs appear (one Sectigo not logged, one
+Gandi logged).
+"""
+
+from repro.core.ct_validity import private_chain_ct_figure
+from repro.core.tables import render_table
+
+
+def test_figure13_ct_for_private_chains(benchmark, study, survey, emit):
+    figure = benchmark(private_chain_ct_figure, survey, study.ecosystem,
+                       study.network.ct_logs)
+    rows = [[issuer_kind, ct_state, count]
+            for (issuer_kind, ct_state), count in sorted(figure.items())]
+    table = render_table(["issuer kind", "CT state", "#leaf certs"], rows,
+                         title="Figure 13 — CT presence in failing chains")
+    table += "\npaper: private-issuer leafs overwhelmingly not in CT"
+    emit("fig13_ct_private", table)
+    assert figure.get(("private", "not in CT"), 0) > \
+        figure.get(("private", "in CT"), 0)

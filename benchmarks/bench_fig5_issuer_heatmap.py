@@ -1,0 +1,50 @@
+"""Figure 5 — certificate issuers × device vendors.
+
+Paper: DigiCert signs 47.26% of leafs; private CAs sign 9.86%; 31 vendors
+see only public-trust issuers; 16 vendors sign for their own servers;
+Canary/Tuya/Obihai devices see only vendor-signed certificates.
+"""
+
+from repro.core.issuers import issuer_report
+from repro.core.tables import percent, render_table
+
+
+def test_figure5_issuer_heatmap(benchmark, study, dataset, certificates,
+                                emit):
+    report = benchmark(issuer_report, dataset, certificates,
+                       study.ecosystem)
+    headline = [
+        ["DigiCert leaf share", percent(report.issuer_share("DigiCert")),
+         "47.26%"],
+        ["private-CA leaf share", percent(report.private_leaf_share()),
+         "9.86%"],
+        ["public-trust orgs", len(report.public_orgs), "(16 modelled)"],
+        ["private orgs", len(report.private_orgs), "(17 modelled)"],
+        ["vendors seeing only public CAs",
+         len(report.vendors_public_only()), "31"],
+        ["self-signing vendors", len(report.vendors_self_signing()), "16"],
+        ["exclusively self-signed vendors",
+         ", ".join(report.vendors_exclusively_self_signed()),
+         "Canary, Tuya, Obihai"],
+    ]
+    table = render_table(["quantity", "measured", "paper"], headline,
+                         title="Figure 5 — issuer x vendor headline")
+    rows = []
+    for org in sorted(report.issuer_leaf_counts,
+                      key=lambda o: -report.issuer_leaf_counts[o]):
+        kind = "public" if org in report.public_orgs else "PRIVATE"
+        rows.append([org, kind, report.issuer_leaf_counts[org],
+                     percent(report.issuer_share(org))])
+    table += "\n" + render_table(
+        ["issuer org", "kind", "#leafs", "share"], rows,
+        title="Leaf certificates per issuer")
+    sample = {}
+    for vendor in ("Amazon", "Roku", "Tuya", "Wyze"):
+        ratios = report.vendor_issuer_ratios(vendor)
+        top = sorted(ratios.items(), key=lambda kv: -kv[1])[:3]
+        sample[vendor] = ", ".join(f"{o}={percent(s, 0)}" for o, s in top)
+    table += "\ncolumns: " + "; ".join(f"{v}: [{t}]"
+                                       for v, t in sample.items())
+    emit("fig5_issuer_heatmap", table)
+    assert set(report.vendors_exclusively_self_signed()) == \
+        {"Canary", "Obihai", "Tuya"}

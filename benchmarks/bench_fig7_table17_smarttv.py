@@ -1,0 +1,38 @@
+"""Figure 7 & Table 17 — the smart-TV case study (Section 6.1).
+
+Paper: third-party channel servers mostly use public CAs but send
+incomplete chains or expired certificates; Amazon-owned servers use
+Amazon/DigiCert ~400-day certs, all in CT; Roku-owned servers mix
+Amazon/DigiCert/Let's Encrypt/Roku, with Roku-signed certs near 5,000
+days and never logged.
+"""
+
+from repro.core.casestudies import smart_tv_study
+from repro.core.tables import render_table
+
+
+def test_fig7_table17_smart_tvs(benchmark, study, emit):
+    tv = benchmark(smart_tv_study, study.ecosystem)
+    table = ""
+    status_table = tv.status_table()
+    rows = []
+    for group in sorted(status_table):
+        for issue, fqdns in sorted(status_table[group].items()):
+            rows.append([group, issue, len(fqdns),
+                         ", ".join(fqdns[:3]) +
+                         ("..." if len(fqdns) > 3 else "")])
+    table += render_table(["TV group", "chain issue", "#hosts",
+                           "examples"], rows,
+                          title="Table 17 — invalid/misconfigured chains")
+    fig_rows = []
+    for group in ("amazon-own", "roku-own"):
+        for issuer, days, in_ct in sorted(
+                tv.vendor_infrastructure[group]):
+            fig_rows.append([group, issuer, f"{days:.0f}", str(in_ct)])
+    table += "\n" + render_table(
+        ["group", "issuer", "validity days", "in CT"], fig_rows,
+        title="Figure 7 — vendor-owned TV infrastructure")
+    emit("fig7_table17_smarttv", table)
+    roku_issuers = {issuer for issuer, _d, _ct
+                    in tv.vendor_infrastructure["roku-own"]}
+    assert "Roku" in roku_issuers and len(roku_issuers) >= 3

@@ -1,0 +1,25 @@
+"""Extension: JA3 vs the paper's 3-tuple fingerprint.
+
+JA3 is the ecosystem-standard TLS client hash; the paper uses the raw
+3-tuple because IoT Inspector truncates ClientHellos.  This benchmark
+quantifies the difference: GREASE-randomizing devices produce multiple
+3-tuples that collapse onto one JA3.
+"""
+
+from repro.core.tables import percent, render_table
+from repro.tlslib.ja3 import compare_corpora
+
+
+def test_ja3_reduction(benchmark, dataset, emit):
+    summary = benchmark(compare_corpora, dataset)
+    rows = [
+        ["3-tuple fingerprints", summary["tuple_fingerprints"]],
+        ["JA3 fingerprints", summary["ja3_fingerprints"]],
+        ["JA3 hashes covering multiple 3-tuples",
+         summary["ja3_with_multiple_tuples"]],
+        ["reduction from GREASE stripping",
+         percent(summary["reduction"])],
+    ]
+    emit("ja3_reduction", render_table(["quantity", "value"], rows,
+                                       title="Extension — JA3 reduction"))
+    assert summary["ja3_fingerprints"] <= summary["tuple_fingerprints"]

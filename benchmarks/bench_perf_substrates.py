@@ -1,0 +1,83 @@
+"""Performance benchmarks of the substrates themselves.
+
+Not a paper table — these measure the building blocks' throughput so
+regressions in the wire codecs, crypto, and world generation are caught:
+ClientHello round-trips, DER certificate parsing, RSA sign/verify, CT
+inclusion proofs, and a full end-to-end probe handshake.
+"""
+
+import random
+
+from repro.tlslib.clienthello import ClientHello
+from repro.tlslib.versions import TLSVersion
+from repro.x509.certificate import Certificate
+from repro.x509.keys import generate_keypair
+
+
+def test_perf_clienthello_roundtrip(benchmark):
+    hello = ClientHello(version=TLSVersion.TLS_1_2,
+                        ciphersuites=list(range(0x2F, 0x2F + 40)),
+                        extensions=[0, 10, 11, 13, 35, 16],
+                        sni="device.vendor.example")
+    wire = hello.to_bytes()
+
+    def roundtrip():
+        return ClientHello.from_bytes(wire).to_bytes()
+
+    assert benchmark(roundtrip) == wire
+
+
+def test_perf_certificate_parse(benchmark, study):
+    der = study.ecosystem.public["DigiCert"].root.to_der()
+    parsed = benchmark(Certificate.from_der, der)
+    assert parsed.is_ca
+
+
+def test_perf_rsa_sign_verify(benchmark):
+    keypair = generate_keypair(512, rng=random.Random(5))
+    message = b"benchmark message" * 8
+
+    def sign_and_verify():
+        keypair.public.verify(message, keypair.sign(message))
+
+    benchmark(sign_and_verify)
+
+
+def test_perf_ct_inclusion_proof(benchmark, study):
+    log = study.network.ct_logs.logs[0]
+    # Pick a logged certificate.
+    target = None
+    for result in study.certificates.results_at().values():
+        if result.leaf is not None and log.contains(result.leaf):
+            target = result.leaf
+            break
+    assert target is not None
+
+    def prove_and_verify():
+        proof = log.prove_inclusion(target)
+        assert log.verify_inclusion(target, proof)
+
+    benchmark(prove_and_verify)
+
+
+def test_perf_full_probe_handshake(benchmark, study, network):
+    from repro.probing.prober import Prober
+    from repro.probing.vantage import VANTAGE_POINTS
+    prober = Prober(network)
+    fqdn = study.world.reachable_servers()[0].fqdn
+
+    def probe():
+        result = prober.probe_one(fqdn, VANTAGE_POINTS[0])
+        assert result.leaf is not None
+
+    benchmark(probe)
+
+
+def test_perf_dataset_indexing(benchmark, study):
+    from repro.inspector.dataset import InspectorDataset
+    records = study.dataset.records
+
+    def index():
+        return InspectorDataset(records).fingerprint_count
+
+    assert benchmark(index) == study.dataset.fingerprint_count

@@ -1,0 +1,37 @@
+"""Section 4.2 — vulnerable ciphersuite statistics.
+
+Paper: 403 (44.63%) fingerprints have a vulnerable component, 31.76% of
+those used by multiple devices; 3DES in 41.64%; 31 fingerprints with
+anon/export/NULL suites from 27 devices of 14 vendors.
+"""
+
+from repro.core.security import vulnerability_report
+from repro.core.tables import percent, render_table
+
+
+def test_section42_vulnerabilities(benchmark, dataset, emit):
+    report = benchmark(vulnerability_report, dataset)
+    multi_share = report.multi_device_vulnerable / max(
+        1, report.vulnerable_fingerprints)
+    rows = [
+        ["vulnerable fingerprints",
+         f"{report.vulnerable_fingerprints} "
+         f"({percent(report.vulnerable_fraction)})",
+         "403 (44.63%)"],
+        ["... on multiple devices", percent(multi_share), "31.76%"],
+        ["3DES inclusion", percent(report.component_fraction('3DES')),
+         "41.64%"],
+        ["severe (anon/export/NULL/RC2) fps", report.severe_fingerprints,
+         "31"],
+        ["severe devices", len(report.severe_devices), "27"],
+        ["severe vendors", len(report.severe_vendors), "14"],
+    ]
+    components = ", ".join(
+        f"{tag}: {count}" for tag, count
+        in report.component_counts.most_common())
+    table = render_table(["quantity", "measured", "paper"], rows,
+                         title="Section 4.2 — vulnerable ciphersuites")
+    table += f"\ncomponent counts: {components}"
+    emit("sec42_vulnerable", table)
+    assert report.component_counts["3DES"] == max(
+        report.component_counts.values())

@@ -1,0 +1,40 @@
+"""Section 6.2 — PKI on the local network.
+
+Paper: Echo presents a 1-year self-signed cert with its IP as CN on port
+55443; Chromecast/Home chains end at "Chromecast ICA 12"/"ICA 16 (Audio
+Assist 4)" under "Cast Root CA" with 20–22-year validity, absent from
+trust stores and CT; the MacBook's TLS 1.3 connection hides its chain.
+"""
+
+from repro.core.casestudies import local_pki_study
+from repro.core.tables import render_table
+
+
+def test_section62_local_pki(benchmark, study, emit):
+    local = benchmark(local_pki_study)
+    rows = []
+    for connection in local.connections:
+        if connection.chain_extractable:
+            leaf = connection.leaf
+            cn = leaf.subject.common_name
+            top = connection.chain[-1]
+            chain_text = f"CN={cn[:18]} .. {top.subject.common_name}"
+            validity = f"{top.validity_days / 365:.0f}y"
+        else:
+            chain_text, validity = "(encrypted in TLS 1.3)", "-"
+        rows.append([connection.client, connection.server, connection.port,
+                     connection.tls_version, chain_text, validity])
+    table = render_table(
+        ["client", "server", "port", "TLS", "chain", "top validity"],
+        rows, title="Section 6.2 — local-network TLS observations")
+    checks = []
+    for connection in local.extractable():
+        top = connection.chain[-1]
+        checks.append(
+            f"{top.subject.common_name}: in trust stores="
+            f"{study.ecosystem.union_store.contains(top)}, "
+            f"in CT={study.network.ct_logs.query(top)}")
+    table += "\n" + "\n".join(sorted(set(checks)))
+    emit("sec62_local_pki", table)
+    assert all(not study.network.ct_logs.query(c.chain[-1])
+               for c in local.extractable())

@@ -1,0 +1,42 @@
+"""Table 10 / Appendix B.1 — the compiled library corpus itself.
+
+Paper: 19 OpenSSL + 38 wolfSSL + 113 Mbed TLS versions plus 5,591
+curl×OpenSSL and 1,130 curl×wolfSSL builds = 6,891 fingerprints; major
+branch release dates in Table 10; only the OpenSSL 1.1.1 LTS and
+Mbed TLS 2.16 branches were still supported in 2020.
+"""
+
+from repro.core.tables import render_table
+from repro.libraries import build_default_corpus
+from repro.libraries import mbedtls, openssl, wolfssl
+
+
+def test_table10_corpus_composition(benchmark, emit):
+    corpus = benchmark(build_default_corpus)
+    by_family = {}
+    for fingerprint in corpus:
+        family = by_family.setdefault(fingerprint.library,
+                                      {"count": 0, "supported": 0})
+        family["count"] += 1
+        if fingerprint.supported_in_2020:
+            family["supported"] += 1
+    rows = [[family, data["count"], data["supported"]]
+            for family, data in sorted(by_family.items())]
+    table = render_table(
+        ["library family", "#versions/builds", "supported in 2020"],
+        rows, title=f"Appendix B.1 — corpus composition "
+                    f"({len(corpus)} fingerprints; paper: 6,891)")
+    eras = [
+        ("OpenSSL 1.0.0", openssl.BRANCH_INFO["1.0.0"]),
+        ("OpenSSL 1.0.2", openssl.BRANCH_INFO["1.0.2"]),
+        ("OpenSSL 1.1.1 LTS", openssl.BRANCH_INFO["1.1.1"]),
+    ]
+    table += "\nTable 10 branch metadata: " + "; ".join(
+        f"{name}: released {year}, supported={supported}"
+        for name, (year, supported) in eras)
+    table += (f"\ndistinct fingerprint keys in the corpus: "
+              f"{corpus.distinct_fingerprint_count} (consecutive versions "
+              "share fingerprints, as the paper notes)")
+    emit("table10_corpus", table)
+    assert len(corpus) == 6891
+    assert corpus.distinct_fingerprint_count < 100

@@ -1,0 +1,31 @@
+"""Table 12 — TLS versions proposed by IoT devices.
+
+Paper: TLS 1.2: 5,214 — TLS 1.1: 18 — TLS 1.0: 236 — SSL 3.0: 31
+(26 devices; Amazon 13, Synology 5, Samsung 4, LG 2, TP-Link 1, WD 1);
+no TLS 1.3 at all.
+"""
+
+from repro.core.params import multi_version_devices, ssl3_devices, \
+    version_proposals
+from repro.core.tables import render_table
+from repro.tlslib.versions import TLSVersion
+
+PAPER = {TLSVersion.TLS_1_2: 5214, TLSVersion.TLS_1_1: 18,
+         TLSVersion.TLS_1_0: 236, TLSVersion.SSL_3_0: 31,
+         TLSVersion.TLS_1_3: 0}
+
+
+def test_table12_tls_versions(benchmark, dataset, emit):
+    counts = benchmark(version_proposals, dataset)
+    rows = [[version.pretty, counts[version], PAPER[version]]
+            for version in counts]
+    devices, vendors = ssl3_devices(dataset)
+    table = render_table(["TLS version", "proposals", "paper"], rows,
+                         title="Table 12 — proposed TLS versions")
+    table += (f"\nSSL 3.0 devices: {len(devices)} (paper: 26); vendors: "
+              f"{vendors} (paper: Amazon 13, Synology 5, Samsung 4, LG 2, "
+              f"TP-Link 1, WD 1)")
+    table += (f"\ndevices proposing >1 version: "
+              f"{len(multi_version_devices(dataset))} (paper: 194)")
+    emit("table12_versions", table)
+    assert counts[TLSVersion.TLS_1_3] == 0

@@ -1,0 +1,34 @@
+"""Table 13 / Appendix B.6 — the vendor ↔ index mapping of Figure 1.
+
+The paper's Figure 1 labels vendor nodes with indexes 1–65; Table 13
+gives the mapping.  Our vendor profiles carry the same table.
+"""
+
+from repro.core.tables import render_table
+from repro.inspector.vendors import VENDOR_PROFILES
+
+#: Spot checks against the paper's Table 13.
+PAPER_SPOT = {1: "Roku", 6: "Amazon", 8: "Google", 23: "Synology",
+              25: "Wyze", 26: "Sonos", 59: "Belkin", 62: "Tuya",
+              65: "Withings"}
+
+
+def test_table13_vendor_mapping(benchmark, emit):
+    def build():
+        return {profile.index: profile.name
+                for profile in VENDOR_PROFILES}
+
+    mapping = benchmark(build)
+    rows = []
+    for start in range(1, 66, 5):
+        row = []
+        for index in range(start, min(start + 5, 66)):
+            row.extend([index, mapping[index]])
+        while len(row) < 10:
+            row.extend(["", ""])
+        rows.append(row)
+    emit("table13_vendor_mapping", render_table(
+        ["idx", "vendor"] * 5, rows,
+        title="Table 13 — vendor/index mapping (65 vendors)"))
+    for index, name in PAPER_SPOT.items():
+        assert mapping[index] == name

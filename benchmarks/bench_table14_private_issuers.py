@@ -1,0 +1,31 @@
+"""Table 14 — certificate chains with private issuers.
+
+Paper: untrusted private roots (roku.com ×15, nintendo.net ×14,
+playstation.net ×11, canaryis.com len-4 chains, ...) and self-signed
+leafs (ueiwsp.com, dishaccess.tv, samsunghrm.com, tuyaus.com).
+"""
+
+from repro.core.chains import private_issuer_rows
+from repro.core.tables import render_table
+from repro.x509.validation import ChainStatus
+
+
+def test_table14_private_issuer_chains(benchmark, study, dataset, survey,
+                                       emit):
+    rows = benchmark(private_issuer_rows, survey, dataset, study.ecosystem)
+    table_rows = []
+    for row in rows:
+        status = "Private root CA" \
+            if row.status is ChainStatus.UNTRUSTED_ROOT \
+            else "Self-signed certificate"
+        table_rows.append([
+            status, row.domain, row.fqdn_count, row.leaf_issuer,
+            ",".join(str(l) for l in row.chain_lengths),
+            row.device_count, ", ".join(row.vendors)[:40]])
+    table = render_table(
+        ["validation", "domain", "#FQDNs", "leaf issuer", "chain len",
+         "#devices", "vendors"], table_rows,
+        title="Table 14 — chains with private issuers")
+    emit("table14_private_issuers", table)
+    domains = {row.domain for row in rows}
+    assert {"canaryis.com", "dishaccess.tv", "ueiwsp.com"} <= domains

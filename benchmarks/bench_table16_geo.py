@@ -1,0 +1,32 @@
+"""Table 16 & Appendix C.4.1 — certificates across geographic locations.
+
+Paper: 1,151/1,149/1,150 SNIs answered in NY/Frankfurt/Singapore; 1,087
+SNIs served one certificate everywhere; 106/99/82 SNIs served a
+location-exclusive certificate.
+"""
+
+from repro.core.geo import geo_comparison
+from repro.core.tables import render_table
+
+
+def test_table16_geo_comparison(benchmark, certificates, emit):
+    comparison = benchmark(geo_comparison, certificates)
+    rows = [
+        ["SNIs with certificate extracted",
+         comparison.extracted.get("new-york", 0),
+         comparison.extracted.get("frankfurt", 0),
+         comparison.extracted.get("singapore", 0)],
+        ["SNIs with certificate shared across all places",
+         comparison.shared_across_all, "", ""],
+        ["SNIs with certificate exclusive in this location",
+         comparison.exclusive.get("new-york", 0),
+         comparison.exclusive.get("frankfurt", 0),
+         comparison.exclusive.get("singapore", 0)],
+    ]
+    table = render_table(["quantity", "New York", "Frankfurt", "Singapore"],
+                         rows, title="Table 16 — certificates across "
+                                     "geographic locations")
+    table += ("\npaper: extracted 1151/1149/1150; shared 1087; exclusive "
+              "106/99/82")
+    emit("table16_geo", table)
+    assert comparison.shared_across_all > 900

@@ -1,0 +1,19 @@
+"""Table 2 — fingerprint degree distribution.
+
+Paper: degree 1: 77.47%, 2: 11.43%, 3–5: 8.32%, >5: 2.78%.
+"""
+
+from repro.core.customization import degree_distribution
+from repro.core.tables import percent, render_table
+
+PAPER = {"1": "77.47%", "2": "11.43%", "3-5": "8.32%", ">5": "2.78%"}
+
+
+def test_table2_degree_distribution(benchmark, dataset, emit):
+    distribution = benchmark(degree_distribution, dataset)
+    rows = [[bucket, percent(share), PAPER[bucket]]
+            for bucket, share in distribution.items()]
+    emit("table2_degree", render_table(
+        ["degree", "measured", "paper"], rows,
+        title="Table 2 — fingerprint degree distribution"))
+    assert max(distribution, key=distribution.get) == "1"

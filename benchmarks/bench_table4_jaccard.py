@@ -1,0 +1,26 @@
+"""Table 4 — vendor pairs with Jaccard similarity ≥ 0.2.
+
+Paper bands: {HDHomeRun, Silicondust}=1; {Sharp,TCL}∈[0.7,1);
+{Arlo,NETGEAR}∈[0.4,0.7); {Onkyo,Pioneer}/{Bose,TI,Skybell}/... ∈[0.3,0.4);
+{Nvidia,Xiaomi}/{Denon,Marantz}/{Synology,WD}/... ∈[0.2,0.3).
+"""
+
+from repro.core.sharing import similarity_bands, vendor_similarity_pairs
+from repro.core.tables import render_table
+
+
+def test_table4_jaccard_pairs(benchmark, dataset, emit):
+    pairs = benchmark(vendor_similarity_pairs, dataset, 0.2)
+    bands = similarity_bands(pairs)
+    rows = []
+    for band, members in bands.items():
+        text = ", ".join("{%s}" % ", ".join(pair) for pair in members) \
+            or "(none)"
+        rows.append([band, text])
+    table = render_table(["Jaccard band", "vendor tuples (measured)"],
+                         rows, title="Table 4 — vendor Jaccard similarity")
+    top = "\n".join(f"  {s:.2f}  {a} / {b}" for s, a, b in pairs[:12])
+    table += f"\ntop pairs:\n{top}"
+    emit("table4_jaccard", table)
+    as_dict = {(a, b): s for s, a, b in pairs}
+    assert as_dict.get(("HDHomeRun", "SiliconDust")) == 1.0

@@ -1,0 +1,39 @@
+"""Table 7 — certificate chains with validation failure.
+
+Paper: netflix.com (6 FQDNs, 278 devices, 21 vendors), roku.com (14,
+131), nest.com (3, 65), samsungcloudsolution.net (7, 43), ... plus the
+one DigiCert-signed amazonaws.com host; 45.78% of private-CA leafs fail
+this way; CN mismatch on a2.tuyaus.com.
+"""
+
+from repro.core.chains import (
+    private_leaf_incomplete_share,
+    validation_failure_rows,
+)
+from repro.core.tables import percent, render_table
+
+
+def test_table7_validation_failures(benchmark, study, dataset, survey,
+                                    emit):
+    rows = benchmark(validation_failure_rows, survey, dataset,
+                     study.ecosystem)
+    table_rows = []
+    for row in rows:
+        issuer = f"**{row.leaf_issuer}**" if row.issuer_is_public \
+            else row.leaf_issuer
+        table_rows.append([
+            row.domain, row.fqdn_count, issuer,
+            ",".join(str(l) for l in row.chain_lengths),
+            row.device_count, ", ".join(row.vendors)[:52]])
+    table = render_table(
+        ["domain", "#FQDNs", "leaf issuer (** = public)", "chain len",
+         "#devices", "vendors"], table_rows,
+        title="Table 7 — chains with validation failure")
+    share = private_leaf_incomplete_share(survey, study.ecosystem)
+    table += (f"\nprivate-CA leafs failing for a missing root: "
+              f"{percent(share)} (paper: 45.78%)")
+    table += (f"\nCN mismatch hosts: {survey.cn_mismatches()} "
+              f"(paper: a2.tuyaus.com)")
+    emit("table7_validation_failures", table)
+    domains = {row.domain for row in rows}
+    assert {"netflix.com", "roku.com", "nest.com"} <= domains

@@ -1,0 +1,27 @@
+"""Table 8 — certificates already expired during the capture window.
+
+Paper: skyegloup.com (not after 07/31/2018, Gandi, 7 devices of
+Denon/Marantz) and wink.com (04/17/2019, COMODO, 11 devices of
+Samsung/Wink).
+"""
+
+from repro.core.chains import expired_rows
+from repro.core.tables import render_table
+from repro.inspector.timeline import CAPTURE_END
+
+
+def test_table8_expired_certificates(benchmark, dataset, certificates,
+                                     emit):
+    rows = benchmark(expired_rows, certificates, dataset, CAPTURE_END)
+    table_rows = [[row.domain, row.not_after_text(), row.issuer,
+                   row.device_count, ", ".join(row.vendors)]
+                  for row in rows]
+    table = render_table(
+        ["domain", "not after", "issued by", "#devices", "vendors"],
+        table_rows,
+        title="Table 8 — long-expired certificates (at capture end)")
+    table += ("\npaper: skyegloup.com 07/31/2018 Gandi (7, Denon/Marantz); "
+              "wink.com 04/17/2019 COMODO (11, Samsung/Wink)")
+    emit("table8_expired", table)
+    domains = {row.domain for row in rows}
+    assert {"skyegloup.com", "wink.com"} <= domains

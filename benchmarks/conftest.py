@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures: it
+prints the reproduced rows/series (also written under
+``benchmarks/results/``) and times the underlying pipeline stage with
+pytest-benchmark.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.study import get_study
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def study():
+    return get_study()
+
+
+@pytest.fixture(scope="session")
+def dataset(study):
+    return study.dataset
+
+
+@pytest.fixture(scope="session")
+def corpus(study):
+    return study.corpus
+
+
+@pytest.fixture(scope="session")
+def network(study):
+    return study.network
+
+
+@pytest.fixture(scope="session")
+def certificates(study):
+    return study.certificates
+
+
+@pytest.fixture(scope="session")
+def survey(study, certificates):
+    from repro.core.chains import validate_all
+    from repro.inspector.timeline import PROBE_TIME
+    return validate_all(certificates, study.validator(), at=PROBE_TIME)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a reproduced table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name, text):
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+
+    return _emit

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Demonstrate the paper's recommendation: vendor CAs adopting ACME.
+
+Section 5.4 urges private CAs (device vendors) to adopt ACME so
+certificates rotate automatically instead of living for decades.  This
+example migrates one vendor's servers onto ACME, runs two years of
+renewal loops, and shows the before/after for validity and CT logging.
+
+Usage::
+
+    python examples/acme_migration.py [vendor]   # default: Tuya
+"""
+
+import sys
+
+from repro.core.issuers import leaf_issuer_org
+from repro.core.tables import render_table
+from repro.inspector.generator import PRIVATE_CA_ORGS
+from repro.inspector.timeline import PROBE_TIME, days
+from repro.study import get_study
+from repro.x509.acme import ACMEClient, ACMEServer, WellKnownStore
+
+
+def main(vendor="Tuya"):
+    study = get_study()
+    org = PRIVATE_CA_ORGS.get(vendor)
+    if org is None:
+        raise SystemExit(f"{vendor!r} does not run a private CA; choose "
+                         f"one of {sorted(PRIVATE_CA_ORGS)}")
+    results = study.certificates.results_at()
+    vendor_fqdns = sorted(
+        fqdn for fqdn, result in results.items()
+        if result.leaf is not None and leaf_issuer_org(result.leaf) == org)
+    if not vendor_fqdns:
+        raise SystemExit(f"no probed servers are signed by {org}")
+
+    print(f"=== ACME migration for {vendor} (CA org: {org}) ===\n")
+    rows = []
+    for fqdn in vendor_fqdns:
+        leaf = results[fqdn].leaf
+        rows.append([fqdn, f"{leaf.validity_days / 365:.1f}y",
+                     str(study.network.ct_logs.query(leaf))])
+    print(render_table(["server", "validity", "in CT"], rows,
+                       title="Before: set-and-forget certificates"))
+
+    ca = study.ecosystem.issuer(org)
+    well_known = WellKnownStore()
+    server = ACMEServer(ca, well_known, ct_logs=study.network.ct_logs,
+                        validity_days=90)
+    client = ACMEClient(server, well_known,
+                        contact=f"pki@{vendor.lower()}.example")
+    for fqdn in vendor_fqdns:
+        client.obtain([fqdn], now=PROBE_TIME)
+
+    renewals = 0
+    for month in range(1, 25):
+        renewals += len(client.renew_due(at=PROBE_TIME + days(30 * month)))
+
+    print()
+    rows = []
+    for fqdn in vendor_fqdns:
+        leaf = client.certificates[(fqdn,)]
+        rows.append([fqdn, f"{leaf.validity_days:.0f}d",
+                     str(study.network.ct_logs.query(leaf))])
+    print(render_table(["server", "validity", "in CT"], rows,
+                       title="After: ACME-managed certificates"))
+    print(f"\nrenewals performed over a simulated 24 months: {renewals}")
+    print("Every certificate now rotates automatically and is publicly "
+          "auditable in CT —\nexactly the posture shift the paper calls "
+          "for.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "Tuya")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Audit the certificates of the servers one vendor's devices visit.
+
+Walks the Section 5 pipeline for a chosen vendor: probe the servers its
+devices contact, validate every chain Zeek-style, check CT logging, and
+flag the paper's problem patterns (incomplete chains, private roots,
+long validity, expiry, CN mismatch).
+
+Usage::
+
+    python examples/certificate_audit.py [vendor]   # default: Roku
+"""
+
+import sys
+
+from repro.core.issuers import leaf_issuer_org
+from repro.core.tables import render_table
+from repro.inspector.timeline import PROBE_TIME
+from repro.study import get_study
+from repro.x509.validation import ChainStatus
+
+
+def main(vendor="Roku"):
+    study = get_study()
+    dataset = study.dataset
+    if vendor not in dataset.vendor_names():
+        raise SystemExit(f"unknown vendor {vendor!r}")
+
+    # SNIs this vendor's devices actually contacted.
+    snis = sorted(
+        sni for sni in dataset.snis()
+        if any(dataset.device_vendor(d) == vendor
+               for d in dataset.sni_devices(sni)))
+    print(f"=== Server certificate audit for {vendor} ===")
+    print(f"servers contacted by {vendor} devices: {len(snis)}")
+
+    results = study.certificates.results_at()
+    validator = study.validator()
+    rows, issues = [], {}
+    for sni in snis:
+        result = results.get(sni)
+        if result is None or not result.chain:
+            issues["unreachable"] = issues.get("unreachable", 0) + 1
+            continue
+        report = validator.validate(result.chain, at=PROBE_TIME,
+                                    hostname=sni)
+        leaf = report.leaf
+        in_ct = study.network.ct_logs.query(leaf)
+        flags = []
+        if report.status is not ChainStatus.OK:
+            flags.append(report.status.value)
+        if report.cn_mismatch:
+            flags.append("CN mismatch")
+        if leaf.validity_days > 1000:
+            flags.append(f"{leaf.validity_days / 365:.0f}y validity")
+        if not in_ct:
+            flags.append("not in CT")
+        if flags:
+            rows.append([sni, leaf_issuer_org(leaf),
+                         "; ".join(flags)[:60]])
+        for flag in flags:
+            issues[flag.split(" (")[0]] = issues.get(flag, 0) + 1
+
+    print(f"servers with findings: {len(rows)}")
+    print()
+    print(render_table(["server (SNI)", "leaf issuer", "findings"],
+                       rows[:25],
+                       title=f"Findings (first 25 of {len(rows)})"))
+    print()
+    summary = sorted(issues.items(), key=lambda kv: -kv[1])
+    print(render_table(["finding", "#servers"], summary,
+                       title="Finding summary"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "Roku")

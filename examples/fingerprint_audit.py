@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Audit one vendor's client-side TLS posture.
+
+For a chosen vendor, this walks the paper's Section 4 pipeline: library
+matching, DoC metrics, security levels, preference-order risks, and the
+fingerprints it shares with other vendors (supply-chain signals).
+
+Usage::
+
+    python examples/fingerprint_audit.py [vendor]   # default: Samsung
+"""
+
+import sys
+
+from repro.core.customization import (
+    doc_device_vendor,
+    doc_vendor,
+    vendor_heterogeneity,
+)
+from repro.core.matching import validate_case_study
+from repro.core.preferences import (
+    vendors_preferring_vulnerable_first,
+    vendors_without_vulnerable,
+)
+from repro.core.security import (
+    fingerprint_security_level,
+    fingerprint_vulnerable_components,
+)
+from repro.core.tables import percent, render_table
+from repro.study import get_study
+
+
+def main(vendor="Samsung"):
+    study = get_study()
+    dataset = study.dataset
+    if vendor not in dataset.vendor_names():
+        raise SystemExit(f"unknown vendor {vendor!r}; choose one of "
+                         f"{dataset.vendor_names()}")
+
+    fingerprints = dataset.vendor_fingerprints(vendor)
+    devices = dataset.devices_of_vendor(vendor)
+    heterogeneity = vendor_heterogeneity(dataset, vendor)
+
+    print(f"=== Client-side TLS audit: {vendor} ===")
+    print(f"devices observed: {len(devices)}")
+    print(f"distinct fingerprints: {len(fingerprints)}")
+    print(f"DoC_vendor (unique fp share): "
+          f"{percent(doc_vendor(dataset, vendor))}")
+    print(f"DoC_device (mean per-device uniqueness): "
+          f"{percent(doc_device_vendor(dataset, vendor))}")
+    print(f"fingerprints on one device only: "
+          f"{percent(heterogeneity.used_by_one_device)}")
+
+    by_level = {}
+    worst = []
+    for fp in fingerprints:
+        level = fingerprint_security_level(fp).pretty
+        by_level[level] = by_level.get(level, 0) + 1
+        tags = fingerprint_vulnerable_components(fp)
+        if tags:
+            worst.append((tags, len(dataset.fingerprint_devices(fp))))
+    print(f"security levels: {dict(sorted(by_level.items()))}")
+    if worst:
+        worst.sort(key=lambda item: -len(item[0]))
+        tags, device_count = worst[0]
+        print(f"worst fingerprint components: {tags} "
+              f"(on {device_count} devices)")
+
+    matches = validate_case_study(dataset, study.corpus, vendor)
+    print(f"known-library matches: {matches or '(none — all customized)'}")
+
+    if vendor in vendors_without_vulnerable(dataset):
+        print("preference check: no vulnerable suites proposed — clean")
+    elif vendor in vendors_preferring_vulnerable_first(dataset):
+        print("preference check: ⚠ proposes a VULNERABLE suite first")
+    else:
+        print("preference check: vulnerable suites present, never first")
+
+    shared_with = {}
+    for fp in fingerprints:
+        for other in dataset.fingerprint_vendors(fp) - {vendor}:
+            shared_with[other] = shared_with.get(other, 0) + 1
+    if shared_with:
+        rows = sorted(shared_with.items(), key=lambda kv: -kv[1])[:8]
+        print()
+        print(render_table(["shares fingerprints with", "#fps"], rows,
+                           title="Cross-vendor sharing (supply chain?)"))
+    else:
+        print("no fingerprints shared with any other vendor")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "Samsung")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Run the paper's Section 6 case studies: smart TVs and local-network PKI.
+
+Usage::
+
+    python examples/smart_tv_case_study.py
+"""
+
+from repro.core.casestudies import local_pki_study, smart_tv_study
+from repro.core.tables import render_table
+from repro.study import get_study
+
+
+def main():
+    study = get_study()
+
+    print("=== Section 6.1 — smart TVs (Amazon vs Roku) ===\n")
+    tv = smart_tv_study(ecosystem=study.ecosystem)
+    for group, buckets in sorted(tv.status_table().items()):
+        print(f"[{group}]")
+        for issue, fqdns in sorted(buckets.items()):
+            print(f"  {issue}: {len(fqdns)} host(s) — "
+                  + ", ".join(fqdns[:4])
+                  + ("..." if len(fqdns) > 4 else ""))
+    print()
+    for group in ("amazon-own", "roku-own"):
+        infra = tv.vendor_infrastructure[group]
+        issuers = sorted({issuer for issuer, _d, _ct in infra})
+        never_logged = sorted({issuer for issuer, _d, in_ct in infra
+                               if not in_ct})
+        print(f"{group}: issuers={issuers}; never in CT: "
+              f"{never_logged or '(none)'}")
+
+    print("\n=== Section 6.2 — PKI on the local network ===\n")
+    local = local_pki_study()
+    rows = []
+    for connection in local.connections:
+        if connection.chain_extractable:
+            top = connection.chain[-1]
+            detail = (f"{top.subject.common_name} "
+                      f"({top.validity_days / 365:.0f}y)")
+        else:
+            detail = "(certificates encrypted — TLS 1.3)"
+        rows.append([f"{connection.client} → {connection.server}",
+                     connection.port, connection.tls_version, detail])
+    print(render_table(["connection", "port", "TLS", "chain top"], rows))
+    print("\nNone of the local-PKI roots appear in the public trust "
+          "stores or CT logs:")
+    for connection in local.extractable():
+        top = connection.chain[-1]
+        print(f"  {top.subject.common_name}: "
+              f"store={study.ecosystem.union_store.contains(top)}, "
+              f"CT={study.network.ct_logs.query(top)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``generate``  build the world and save the anonymized ClientHello
+  capture as JSONL (the artifact the paper open-sources);
+- ``probe``     probe every SNI from the three vantage points and save a
+  per-server certificate summary;
+- ``report``    run the full analysis pipeline and write the markdown
+  study report;
+- ``audit``     client- and server-side audit of one vendor;
+- ``whatif``    run the recommendation experiments (ACME adoption, AIA
+  chasing, revocation exposure).
+"""
+
+import argparse
+import json
+import sys
+
+from repro.study import DEFAULT_SEED, get_study
+
+
+def _add_seed(parser):
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="world seed (default %(default)s)")
+
+
+def cmd_generate(args):
+    from repro.inspector.io import save_records
+    study = get_study(seed=args.seed)
+    dataset = study.dataset
+    save_records(dataset.records, args.output)
+    print(f"wrote {len(dataset.records)} ClientHello records from "
+          f"{dataset.device_count} devices ({dataset.vendor_count} "
+          f"vendors, {dataset.user_count} users) to {args.output}")
+    return 0
+
+
+def cmd_probe(args):
+    from repro.core.issuers import leaf_issuer_org
+    study = get_study(seed=args.seed)
+    certificates = study.certificates
+    rows = []
+    for fqdn, result in sorted(certificates.results_at().items()):
+        if result.leaf is None:
+            rows.append({"fqdn": fqdn, "reachable": result.reachable,
+                         "error": result.error})
+            continue
+        leaf = result.leaf
+        rows.append({
+            "fqdn": fqdn, "reachable": True,
+            "issuer": leaf_issuer_org(leaf),
+            "validity_days": round(leaf.validity_days, 1),
+            "not_after": int(leaf.not_after),
+            "chain_length": len(result.chain),
+            "in_ct": study.network.ct_logs.query(leaf),
+        })
+    with open(args.output, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+    reachable = sum(1 for row in rows if row["reachable"])
+    print(f"probed {len(rows)} SNIs ({reachable} reachable); "
+          f"wrote {args.output}")
+    return 0
+
+
+def cmd_report(args):
+    from repro.core.pipeline import run_full_study
+    from repro.core.report import render_report
+    study = get_study(seed=args.seed)
+    results = run_full_study(study)
+    text = render_report(results, seed=args.seed)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote study report to {args.output}")
+    return 0
+
+
+def cmd_audit(args):
+    from repro.core.customization import doc_vendor
+    from repro.core.issuers import issuer_report
+    from repro.core.matching import validate_case_study
+    from repro.core.tables import percent
+    study = get_study(seed=args.seed)
+    dataset = study.dataset
+    vendor = args.vendor
+    if vendor not in dataset.vendor_names():
+        print(f"unknown vendor {vendor!r}; known vendors:",
+              ", ".join(dataset.vendor_names()), file=sys.stderr)
+        return 2
+    print(f"== {vendor} ==")
+    print(f"devices: {len(dataset.devices_of_vendor(vendor))}")
+    print(f"fingerprints: {len(dataset.vendor_fingerprints(vendor))} "
+          f"(DoC_vendor {percent(doc_vendor(dataset, vendor))})")
+    matches = validate_case_study(dataset, study.corpus, vendor)
+    print(f"library matches: {matches or '(none)'}")
+    report = issuer_report(dataset, study.certificates, study.ecosystem)
+    ratios = sorted(report.vendor_issuer_ratios(vendor).items(),
+                    key=lambda kv: -kv[1])
+    print("server certificate issuers seen by its devices:")
+    for org, share in ratios[:8]:
+        kind = "public" if org in set(report.public_orgs) else "PRIVATE"
+        print(f"  {org:35s} {kind:8s} {percent(share)}")
+    return 0
+
+
+def cmd_whatif(args):
+    from repro.core import whatif
+    from repro.core.tables import percent
+    study = get_study(seed=args.seed)
+    if args.experiment in ("acme", "all"):
+        result = whatif.acme_adoption(study)
+        before, after = result["before"], result["after"]
+        print(f"[acme] {result['private_leaf_count']} vendor-signed "
+              f"leafs: validity max "
+              f"{before['validity_min_med_max'][2]:.0f}d → "
+              f"{after['validity_min_med_max'][2]:.0f}d; CT "
+              f"{percent(before['ct_share'])} → "
+              f"{percent(after['ct_share'])}")
+    if args.experiment in ("aia", "all"):
+        result = whatif.aia_chasing(study)
+        print(f"[aia] verdicts fixed by intermediate fetching: "
+              f"{len(result['fixed_by_aia'])}")
+    if args.experiment in ("revocation", "all"):
+        result = whatif.revocation_exposure(study)
+        print(f"[revocation] devices with no revocation path: "
+              f"{result['devices_exposed_no_revocation_path']} "
+              f"(protected: "
+              f"{result['devices_protected_by_revocation']})")
+    return 0
+
+
+def cmd_figures(args):
+    from repro.core.figures import export_all
+    study = get_study(seed=args.seed)
+    written = export_all(study, args.output)
+    print(f"wrote {len(written)} figure data files under {args.output}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Behind the Scenes' (IMC 2023)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser(
+        "generate", help="generate the world, save the capture as JSONL")
+    _add_seed(p_generate)
+    p_generate.add_argument("-o", "--output", default="capture.jsonl")
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_probe = sub.add_parser(
+        "probe", help="probe all SNIs, save per-server cert summary")
+    _add_seed(p_probe)
+    p_probe.add_argument("-o", "--output", default="certificates.jsonl")
+    p_probe.set_defaults(func=cmd_probe)
+
+    p_report = sub.add_parser(
+        "report", help="run the full pipeline, write the markdown report")
+    _add_seed(p_report)
+    p_report.add_argument("-o", "--output", default="study_report.md",
+                          help="output path, or '-' for stdout")
+    p_report.set_defaults(func=cmd_report)
+
+    p_audit = sub.add_parser("audit", help="audit one vendor")
+    _add_seed(p_audit)
+    p_audit.add_argument("vendor")
+    p_audit.set_defaults(func=cmd_audit)
+
+    p_figures = sub.add_parser(
+        "figures", help="export plot-ready JSON data for every figure")
+    _add_seed(p_figures)
+    p_figures.add_argument("-o", "--output", default="figure_data")
+    p_figures.set_defaults(func=cmd_figures)
+
+    p_whatif = sub.add_parser(
+        "whatif", help="run the recommendation experiments")
+    _add_seed(p_whatif)
+    p_whatif.add_argument("experiment",
+                          choices=("acme", "aia", "revocation", "all"))
+    p_whatif.set_defaults(func=cmd_whatif)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""The paper's analyses (its primary contribution).
+
+One module per analysis, mapping to the paper's sections:
+
+===============================  ==========================================
+Module                           Paper section
+===============================  ==========================================
+:mod:`repro.core.matching`       4.1  Matching fingerprints to libraries
+:mod:`repro.core.security`       4.2  Ciphersuite security levels
+:mod:`repro.core.customization`  4.2–4.3  DoC metrics, Tables 2–3
+:mod:`repro.core.graphs`         Figures 1, 3, 4 (bipartite graphs)
+:mod:`repro.core.sharing`        4.4  Jaccard similarity, Tables 4–5
+:mod:`repro.core.semantics`      B.2  Semantics-aware fingerprinting
+:mod:`repro.core.params`         B.3/B.9/B.10  Versions, extensions, GREASE
+:mod:`repro.core.preferences`    B.7/B.8  Preference-order analyses
+:mod:`repro.core.issuers`        5.2  Certificate issuers (Fig 5, Table 6)
+:mod:`repro.core.chains`         5.3  Chain validation (Tables 7/8/14)
+:mod:`repro.core.ct_validity`    5.4  CT and validity periods (Fig 6, T9)
+:mod:`repro.core.geo`            C.4.1  Vantage comparison (Table 16)
+:mod:`repro.core.labcompare`     C.4.2  Lab dataset cross-check
+:mod:`repro.core.casestudies`    6  Smart TVs and local-network PKI
+:mod:`repro.core.slds`           5.1/C.1  Server population (Table 15)
+:mod:`repro.core.tables`         Text rendering of tables
+:mod:`repro.core.pipeline`       One-call full study
+===============================  ==========================================
+"""

@@ -1,0 +1,169 @@
+"""Section 5.3 — certificate chain validation (Tables 7, 8, 14).
+
+Validates every probed chain Zeek-style against the union of the
+Mozilla/Apple/Microsoft stores and groups the failures the way the paper
+reports them:
+
+- Table 7: chains that fail because the root is in neither the stores nor
+  the presented chain (incomplete chains), grouped by {SLD, leaf issuer};
+- Table 8: certificates already expired *during the capture window*;
+- Table 14: chains with private issuers — complete chains to an untrusted
+  root, and self-signed leafs;
+- the CN-mismatch cases (``a2.tuyaus.com``).
+"""
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.issuers import leaf_issuer_org
+from repro.inspector.timeline import CAPTURE_END
+from repro.x509.names import second_level_domain
+from repro.x509.validation import ChainStatus
+
+
+@dataclass(frozen=True)
+class FailureRow:
+    """One grouped failure row (Tables 7 / 14)."""
+
+    domain: str
+    fqdn_count: int
+    leaf_issuer: str
+    issuer_is_public: bool
+    chain_lengths: tuple
+    device_count: int
+    vendors: tuple
+    status: ChainStatus
+
+
+@dataclass(frozen=True)
+class ExpiredRow:
+    """One Table 8 row."""
+
+    domain: str
+    not_after: int
+    issuer: str
+    device_count: int
+    vendors: tuple
+
+    def not_after_text(self):
+        return time.strftime("%m/%d/%Y", time.gmtime(self.not_after))
+
+
+@dataclass
+class ValidationSurvey:
+    """All validation outcomes, indexed for the three tables."""
+
+    reports: dict = field(default_factory=dict)     # fqdn → report
+    chains: dict = field(default_factory=dict)      # fqdn → presented chain
+
+    def status_counts(self):
+        counts = defaultdict(int)
+        for report in self.reports.values():
+            counts[report.status] += 1
+        return dict(counts)
+
+    def fqdns_with_status(self, *statuses):
+        wanted = set(statuses)
+        return sorted(f for f, r in self.reports.items()
+                      if r.status in wanted)
+
+    def cn_mismatches(self):
+        return sorted(f for f, r in self.reports.items() if r.cn_mismatch)
+
+
+def validate_all(certificates, validator, at):
+    """Validate every reachable probed chain at time ``at``."""
+    survey = ValidationSurvey()
+    for fqdn, result in certificates.results_at().items():
+        if not result.reachable or not result.chain:
+            continue
+        survey.reports[fqdn] = validator.validate(result.chain, at=at,
+                                                  hostname=fqdn)
+        survey.chains[fqdn] = result.chain
+    return survey
+
+
+def _group_rows(survey, dataset, ecosystem, fqdns, status_of):
+    """Group failing FQDNs into {SLD, leaf issuer} rows."""
+    groups = defaultdict(lambda: {"fqdns": set(), "lengths": set(),
+                                  "devices": set(), "status": None})
+    for fqdn in fqdns:
+        report = survey.reports[fqdn]
+        leaf = report.leaf
+        key = (second_level_domain(fqdn), leaf_issuer_org(leaf))
+        group = groups[key]
+        group["fqdns"].add(fqdn)
+        group["lengths"].add(report.presented_length)
+        group["devices"].update(dataset.sni_devices(fqdn))
+        group["status"] = status_of(report)
+    rows = []
+    for (domain, issuer), group in groups.items():
+        vendors = tuple(sorted({dataset.device_vendor(d)
+                                for d in group["devices"]}))
+        rows.append(FailureRow(
+            domain=domain, fqdn_count=len(group["fqdns"]),
+            leaf_issuer=issuer,
+            issuer_is_public=ecosystem.is_public_trust(issuer),
+            chain_lengths=tuple(sorted(group["lengths"])),
+            device_count=len(group["devices"]), vendors=vendors,
+            status=group["status"]))
+    rows.sort(key=lambda row: (-row.device_count, row.domain))
+    return rows
+
+
+def validation_failure_rows(survey, dataset, ecosystem):
+    """Table 7 — incomplete chains (root absent from stores and chain)."""
+    fqdns = survey.fqdns_with_status(ChainStatus.INCOMPLETE_CHAIN)
+    return _group_rows(survey, dataset, ecosystem, fqdns,
+                       lambda report: report.status)
+
+
+def private_issuer_rows(survey, dataset, ecosystem):
+    """Table 14 — chains with private issuers, split by status."""
+    fqdns = survey.fqdns_with_status(ChainStatus.UNTRUSTED_ROOT,
+                                     ChainStatus.SELF_SIGNED)
+    return _group_rows(survey, dataset, ecosystem, fqdns,
+                       lambda report: report.status)
+
+
+def expired_rows(certificates, dataset, reference_time=CAPTURE_END):
+    """Table 8 — leafs already expired by ``reference_time`` (the capture
+    window's end: these certificates were expired while real devices were
+    still connecting)."""
+    groups = defaultdict(lambda: {"devices": set(), "not_after": None,
+                                  "issuer": None})
+    for fqdn, result in certificates.results_at().items():
+        leaf = result.leaf
+        if leaf is None or not leaf.is_expired(reference_time):
+            continue
+        domain = second_level_domain(fqdn)
+        group = groups[domain]
+        group["devices"].update(dataset.sni_devices(fqdn))
+        group["not_after"] = leaf.not_after
+        group["issuer"] = leaf_issuer_org(leaf)
+    rows = []
+    for domain, group in groups.items():
+        vendors = tuple(sorted({dataset.device_vendor(d)
+                                for d in group["devices"]}))
+        rows.append(ExpiredRow(domain=domain, not_after=group["not_after"],
+                               issuer=group["issuer"],
+                               device_count=len(group["devices"]),
+                               vendors=vendors))
+    rows.sort(key=lambda row: row.domain)
+    return rows
+
+
+def private_leaf_incomplete_share(survey, ecosystem):
+    """Share of private-CA leafs whose chains fail for a missing root
+    (the paper's "45.78% of leaf certificates signed by private CAs")."""
+    private_leafs, failing = set(), set()
+    for fqdn, report in survey.reports.items():
+        org = leaf_issuer_org(report.leaf)
+        if ecosystem.is_public_trust(org):
+            continue
+        fingerprint = report.leaf.fingerprint()
+        private_leafs.add(fingerprint)
+        if report.status is ChainStatus.INCOMPLETE_CHAIN:
+            failing.add(fingerprint)
+    return len(failing) / max(1, len(private_leafs))

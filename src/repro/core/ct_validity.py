@@ -1,0 +1,177 @@
+"""Section 5.4 — Certificate Transparency and validity periods.
+
+Builds the {server, leaf certificate, device vendor} tuples of the
+paper's CT dataset, queries the simulated CT logs for each leaf, and
+produces:
+
+- Figure 6: per vendor, the (validity period, chain category, CT
+  presence) points — showing private-CA validity periods far beyond
+  1,000 days and never logged;
+- the 8 public-CA certificates missing from CT, by issuer;
+- Table 9: Netflix's split validity profile;
+- Figure 13: CT presence for leafs in private-issuer chains.
+"""
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.issuers import leaf_issuer_org
+from repro.x509.validation import ChainStatus
+
+#: Figure 6 chain categories.
+CATEGORY_PUBLIC = "public leaf and root"
+CATEGORY_PRIVATE_LEAF_PUBLIC_ROOT = "private leaf, public trust root"
+CATEGORY_PRIVATE = "private leaf and root"
+
+
+@dataclass(frozen=True)
+class CTPoint:
+    """One Figure 6 point: a {server, leaf, vendor} tuple."""
+
+    fqdn: str
+    vendor: str
+    leaf_fingerprint: str
+    issuer: str
+    validity_days: float
+    category: str
+    in_ct: bool
+
+
+@dataclass
+class CTReport:
+    points: list = field(default_factory=list)
+
+    def tuple_count(self):
+        return len(self.points)
+
+    def by_vendor(self):
+        grouped = defaultdict(list)
+        for point in self.points:
+            grouped[point.vendor].append(point)
+        return dict(grouped)
+
+    def public_ca_certs_missing_from_ct(self):
+        """issuer → distinct public-CA leafs absent from CT (the 8)."""
+        missing = defaultdict(set)
+        for point in self.points:
+            if point.category == CATEGORY_PUBLIC and not point.in_ct:
+                missing[point.issuer].add(point.leaf_fingerprint)
+        return {issuer: len(leafs)
+                for issuer, leafs in sorted(missing.items())}
+
+    def private_chained_certs_in_ct(self):
+        """Distinct private-leaf/public-root leafs that *are* in CT.
+
+        The paper finds zero: operators who could log never do.
+        """
+        logged = {point.leaf_fingerprint for point in self.points
+                  if point.category == CATEGORY_PRIVATE_LEAF_PUBLIC_ROOT
+                  and point.in_ct}
+        return len(logged)
+
+    def validity_summary(self):
+        """category → (min, median, max) validity days over distinct leafs."""
+        by_category = defaultdict(dict)
+        for point in self.points:
+            by_category[point.category][point.leaf_fingerprint] = \
+                point.validity_days
+        summary = {}
+        for category, leafs in by_category.items():
+            values = sorted(leafs.values())
+            summary[category] = (values[0], values[len(values) // 2],
+                                 values[-1])
+        return summary
+
+
+def _category(report, ecosystem, leaf):
+    issuer_org = leaf_issuer_org(leaf)
+    if ecosystem.is_public_trust(issuer_org):
+        return CATEGORY_PUBLIC
+    if report.chain_complete and report.anchor_in_store:
+        return CATEGORY_PRIVATE_LEAF_PUBLIC_ROOT
+    return CATEGORY_PRIVATE
+
+
+def ct_report(dataset, certificates, survey, ecosystem, ct_logs):
+    """Assemble the CT dataset and query every leaf."""
+    results = certificates.results_at()
+    report = CTReport()
+    ct_cache = {}
+    for sni in dataset.snis():
+        result = results.get(sni)
+        validation = survey.reports.get(sni)
+        if result is None or result.leaf is None or validation is None:
+            continue
+        leaf = result.leaf
+        fingerprint = leaf.fingerprint()
+        if fingerprint not in ct_cache:
+            ct_cache[fingerprint] = ct_logs.query(leaf)
+        category = _category(validation, ecosystem, leaf)
+        for vendor in sorted({dataset.device_vendor(d)
+                              for d in dataset.sni_devices(sni)}):
+            report.points.append(CTPoint(
+                fqdn=sni, vendor=vendor, leaf_fingerprint=fingerprint,
+                issuer=leaf_issuer_org(leaf),
+                validity_days=leaf.validity_days, category=category,
+                in_ct=ct_cache[fingerprint]))
+    return report
+
+
+@dataclass(frozen=True)
+class NetflixRow:
+    """One Table 9 row."""
+
+    leaf_issuer_cn: str
+    validity_days: tuple
+    topmost_issuer_cn: str
+    cert_count: int
+    in_ct: bool
+
+
+def netflix_rows(certificates, ct_logs):
+    """Table 9 — validity variance among Netflix-signed leafs."""
+    groups = defaultdict(lambda: {"leafs": {}, "top": None, "ct": set()})
+    results = certificates.results_at()
+    for fqdn, result in results.items():
+        leaf = result.leaf
+        if leaf is None or leaf_issuer_org(leaf) != "Netflix":
+            continue
+        issuer_cn = leaf.issuer.common_name
+        group = groups[issuer_cn]
+        group["leafs"][leaf.fingerprint()] = round(leaf.validity_days)
+        if result.chain:
+            group["top"] = result.chain[-1].issuer.common_name
+        if ct_logs.query(leaf):
+            group["ct"].add(leaf.fingerprint())
+    rows = []
+    for issuer_cn, group in sorted(groups.items()):
+        validities = tuple(sorted(set(group["leafs"].values())))
+        rows.append(NetflixRow(
+            leaf_issuer_cn=issuer_cn, validity_days=validities,
+            topmost_issuer_cn=group["top"] or issuer_cn,
+            cert_count=len(group["leafs"]), in_ct=bool(group["ct"])))
+    rows.sort(key=lambda row: -max(row.validity_days))
+    return rows
+
+
+def private_chain_ct_figure(survey, ecosystem, ct_logs):
+    """Figure 13 — CT presence for leafs in private-issuer chains."""
+    counts = Counter()
+    seen = set()
+    for fqdn, report in survey.reports.items():
+        if report.status not in (ChainStatus.UNTRUSTED_ROOT,
+                                 ChainStatus.SELF_SIGNED,
+                                 ChainStatus.INCOMPLETE_CHAIN,
+                                 ChainStatus.EXPIRED):
+            continue
+        leaf = report.leaf
+        fingerprint = leaf.fingerprint()
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        issuer_public = ecosystem.is_public_trust(leaf_issuer_org(leaf))
+        in_ct = ct_logs.query(leaf)
+        key = ("public" if issuer_public else "private",
+               "in CT" if in_ct else "not in CT")
+        counts[key] += 1
+    return dict(counts)

@@ -1,0 +1,135 @@
+"""Plot-ready data series for every figure in the paper.
+
+The benchmarks print textual summaries; this module exports the exact
+series a plotting frontend (matplotlib, d3, ...) would consume, as plain
+JSON-serializable dicts.  ``export_all`` writes one JSON file per figure
+— the repository's equivalent of the paper's figure sources.
+"""
+
+import json
+import pathlib
+
+from repro.core import customization, graphs, security, semantics
+from repro.core.ct_validity import ct_report
+from repro.core.issuers import issuer_report
+from repro.core.preferences import lowest_vulnerable_index
+from repro.core.tables import truncate_fp
+
+
+def figure1_data(dataset):
+    """Figure 1 — the vendor × fingerprint graph as a node/link list."""
+    graph = graphs.vendor_fingerprint_graph(dataset)
+    nodes, links = [], []
+    for node, data in graph.nodes(data=True):
+        kind, payload = node
+        if data["bipartite"] == "vendor":
+            nodes.append({"id": f"vendor:{payload}", "kind": "vendor",
+                          "label": payload, "index": data["index"]})
+        else:
+            nodes.append({
+                "id": f"fp:{truncate_fp(payload)}", "kind": "fingerprint",
+                "security": data["security"],
+                "vulnerable_components":
+                    list(data["vulnerable_components"]),
+                "device_count": data["device_count"],
+            })
+    for a, b in graph.edges():
+        vendor, fp = (a, b) if a[0] == "vendor" else (b, a)
+        links.append({"source": f"vendor:{vendor[1]}",
+                      "target": f"fp:{truncate_fp(fp[1])}"})
+    return {"nodes": nodes, "links": links}
+
+
+def figure2_data(dataset):
+    """Figure 2 — the two DoC CDFs as sorted value lists."""
+    return {
+        "doc_vendor": sorted(
+            customization.doc_vendor_all(dataset).values()),
+        "doc_device": sorted(
+            customization.doc_device_all(dataset).values()),
+    }
+
+
+def figure6_data(dataset, certificates, survey, ecosystem, ct_logs):
+    """Figure 6 — per-vendor validity/CT scatter points."""
+    report = ct_report(dataset, certificates, survey, ecosystem, ct_logs)
+    return {
+        "points": [
+            {"vendor": point.vendor,
+             "validity_days": round(point.validity_days, 1),
+             "category": point.category, "in_ct": point.in_ct}
+            for point in report.points
+        ]
+    }
+
+
+def figure8_data(dataset, corpus):
+    """Figure 8 — Jaccard histograms for the component categories."""
+    matches = semantics.semantic_fingerprinting(dataset, corpus)
+    return {"bins": 10,
+            "histograms": semantics.jaccard_distribution(matches)}
+
+
+def figure10_data(dataset):
+    """Figure 10 — per-device DoC values grouped by vendor."""
+    return {vendor: values for vendor, values
+            in customization.doc_distribution(dataset).items()}
+
+
+def figure11_data(dataset):
+    """Figure 11 — lowest vulnerable-suite indexes per vendor."""
+    return {vendor: sorted(values) for vendor, values
+            in lowest_vulnerable_index(dataset).items()}
+
+
+def figure5_data(dataset, certificates, ecosystem):
+    """Figure 5 — the issuer × vendor ratio matrix."""
+    report = issuer_report(dataset, certificates, ecosystem)
+    matrix = {}
+    for vendor in sorted(report.matrix):
+        matrix[vendor] = {org: round(share, 4) for org, share
+                          in report.vendor_issuer_ratios(vendor).items()}
+    return {"issuers": report.issuer_orgs,
+            "public": report.public_orgs,
+            "private": report.private_orgs,
+            "matrix": matrix}
+
+
+def figure9_data(dataset):
+    """Figure 9 — vulnerability flows per vendor."""
+    flows = security.vendor_vulnerability_flows(dataset)
+    return {vendor: {"|".join(tags) or "clean": count
+                     for tags, count in counter.items()}
+            for vendor, counter in flows.items()}
+
+
+def export_all(study, directory):
+    """Write every figure's data as JSON under ``directory``.
+
+    Returns the list of written paths.
+    """
+    from repro.core.chains import validate_all
+    from repro.inspector.timeline import PROBE_TIME
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    dataset = study.dataset
+    certificates = study.certificates
+    survey = validate_all(certificates, study.validator(), at=PROBE_TIME)
+    payloads = {
+        "figure1": figure1_data(dataset),
+        "figure2": figure2_data(dataset),
+        "figure5": figure5_data(dataset, certificates, study.ecosystem),
+        "figure6": figure6_data(dataset, certificates, survey,
+                                study.ecosystem, study.network.ct_logs),
+        "figure8": figure8_data(dataset, study.corpus),
+        "figure9": figure9_data(dataset),
+        "figure10": figure10_data(dataset),
+        "figure11": figure11_data(dataset),
+    }
+    written = []
+    for name, payload in payloads.items():
+        path = directory / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True),
+                        encoding="utf-8")
+        written.append(path)
+    return written

@@ -1,0 +1,49 @@
+"""Appendix C.4.1 — certificate consistency across vantage points.
+
+Compares the leaf certificates obtained from New York, Frankfurt, and
+Singapore (Table 16): the bulk of SNIs serve one certificate everywhere;
+a minority of CDN-backed hosts serve per-region variants.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GeoComparison:
+    """Table 16 contents."""
+
+    extracted: dict = field(default_factory=dict)   # vantage → #SNIs w/ cert
+    shared_across_all: int = 0
+    exclusive: dict = field(default_factory=dict)   # vantage → #SNIs w/ own cert
+    differing_snis: list = field(default_factory=list)
+
+
+def geo_comparison(certificates):
+    """Cross-vantage certificate comparison."""
+    vantages = certificates.vantages()
+    per_vantage = {v: certificates.results_at(v) for v in vantages}
+    comparison = GeoComparison()
+    all_snis = set()
+    for vantage, results in per_vantage.items():
+        with_cert = {fqdn for fqdn, result in results.items()
+                     if result.leaf is not None}
+        comparison.extracted[vantage] = len(with_cert)
+        all_snis.update(with_cert)
+    for vantage in vantages:
+        comparison.exclusive[vantage] = 0
+    for sni in sorted(all_snis):
+        fingerprints = {}
+        for vantage in vantages:
+            result = per_vantage[vantage].get(sni)
+            if result is not None and result.leaf is not None:
+                fingerprints[vantage] = result.leaf.fingerprint()
+        if len(set(fingerprints.values())) == 1 \
+                and len(fingerprints) == len(vantages):
+            comparison.shared_across_all += 1
+        else:
+            comparison.differing_snis.append(sni)
+            for vantage, fingerprint in fingerprints.items():
+                others = {f for v, f in fingerprints.items() if v != vantage}
+                if fingerprint not in others:
+                    comparison.exclusive[vantage] += 1
+    return comparison

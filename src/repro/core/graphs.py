@@ -1,0 +1,106 @@
+"""Bipartite graph views of the capture (Figures 1, 3, and 4).
+
+The paper visualizes vendors/devices against fingerprints as bipartite
+graphs, coloring fingerprint nodes by vulnerability.  We build the same
+graphs with networkx; benchmarks print their structural summaries (node
+and edge counts, per-node security attributes, clusters) — the data a
+plotting frontend would consume.
+"""
+
+import networkx as nx
+
+from repro.core.security import (
+    fingerprint_security_level,
+    fingerprint_vulnerable_components,
+)
+
+
+def _fingerprint_attributes(dataset, fp):
+    return {
+        "bipartite": "fingerprint",
+        "security": fingerprint_security_level(fp).pretty,
+        "vulnerable_components": tuple(fingerprint_vulnerable_components(fp)),
+        "device_count": len(dataset.fingerprint_devices(fp)),
+    }
+
+
+def vendor_fingerprint_graph(dataset):
+    """Figure 1 — vendors × fingerprints.
+
+    Vendor nodes carry their Table 13 index ordering (alphabetical rank
+    here); fingerprint nodes carry security annotations.  Edges join a
+    vendor to every fingerprint at least one of its devices uses.
+    """
+    graph = nx.Graph()
+    for index, vendor in enumerate(dataset.vendor_names(), start=1):
+        graph.add_node(("vendor", vendor), bipartite="vendor", index=index)
+    for fp in dataset.fingerprints():
+        graph.add_node(("fingerprint", fp),
+                       **_fingerprint_attributes(dataset, fp))
+        for vendor in dataset.fingerprint_vendors(fp):
+            graph.add_edge(("vendor", vendor), ("fingerprint", fp))
+    return graph
+
+
+def device_type_fingerprint_graph(dataset, vendor):
+    """Figure 3 — one vendor's device types × fingerprints."""
+    graph = nx.Graph()
+    type_fps = {}
+    for device_id in dataset.devices_of_vendor(vendor):
+        dtype = dataset.device_type(device_id)
+        type_fps.setdefault(dtype, set()).update(
+            dataset.device_fingerprints(device_id))
+    for dtype, fps in type_fps.items():
+        graph.add_node(("type", dtype), bipartite="type")
+        for fp in fps:
+            if ("fingerprint", fp) not in graph:
+                graph.add_node(("fingerprint", fp),
+                               **_fingerprint_attributes(dataset, fp))
+            graph.add_edge(("type", dtype), ("fingerprint", fp))
+    return graph
+
+
+def device_fingerprint_graph(dataset, vendor, device_type=None):
+    """Figure 4 — individual devices × fingerprints (e.g. Amazon Echos)."""
+    graph = nx.Graph()
+    for device_id in dataset.devices_of_vendor(vendor):
+        if device_type is not None \
+                and dataset.device_type(device_id) != device_type:
+            continue
+        graph.add_node(("device", device_id), bipartite="device")
+        for fp in dataset.device_fingerprints(device_id):
+            if ("fingerprint", fp) not in graph:
+                graph.add_node(("fingerprint", fp),
+                               **_fingerprint_attributes(dataset, fp))
+            graph.add_edge(("device", device_id), ("fingerprint", fp))
+    return graph
+
+
+def exclusive_fingerprints_per_type(dataset, vendor):
+    """Count fingerprints tied to exactly one device type (Figure 3's
+    "180 fingerprints exclusively associated with one device type")."""
+    fp_types = {}
+    for device_id in dataset.devices_of_vendor(vendor):
+        dtype = dataset.device_type(device_id)
+        for fp in dataset.device_fingerprints(device_id):
+            fp_types.setdefault(fp, set()).add(dtype)
+    return sum(1 for types in fp_types.values() if len(types) == 1)
+
+
+def graph_summary(graph):
+    """Structural summary used by the figure benchmarks."""
+    fingerprints = [n for n, d in graph.nodes(data=True)
+                    if d.get("bipartite") == "fingerprint"]
+    others = [n for n, d in graph.nodes(data=True)
+              if d.get("bipartite") != "fingerprint"]
+    by_security = {}
+    for node in fingerprints:
+        level = graph.nodes[node]["security"]
+        by_security[level] = by_security.get(level, 0) + 1
+    return {
+        "fingerprint_nodes": len(fingerprints),
+        "entity_nodes": len(others),
+        "edges": graph.number_of_edges(),
+        "components": nx.number_connected_components(graph),
+        "fingerprints_by_security": dict(sorted(by_security.items())),
+    }

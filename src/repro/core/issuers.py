@@ -1,0 +1,110 @@
+"""Section 5.2 — certificate issuers (Figure 5, Table 6).
+
+Categorizes leaf-certificate issuers into public-trust CAs and private
+CAs (CCADB-style, via the authority ecosystem), builds the issuer×vendor
+matrix behind Figure 5, and computes the headline numbers: DigiCert's
+47.26% share, private CAs at 9.86%, the 16 self-signing vendors, and the
+three vendors (Canary, Tuya, Obihai) whose devices *only* see
+vendor-signed certificates.
+"""
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.inspector.generator import PRIVATE_CA_ORGS
+
+
+def leaf_issuer_org(leaf):
+    """The issuer organization of a leaf (falls back to the issuer CN)."""
+    return leaf.issuer.organization or leaf.issuer.common_name
+
+
+@dataclass
+class IssuerReport:
+    """Results of the issuer analysis."""
+
+    server_count: int
+    leaf_count: int
+    issuer_orgs: list
+    public_orgs: list
+    private_orgs: list
+    issuer_leaf_counts: Counter
+    #: vendor → issuer org → number of (device, server) visit pairs.
+    matrix: dict = field(default_factory=dict)
+
+    @property
+    def issuer_org_count(self):
+        return len(self.issuer_orgs)
+
+    def issuer_share(self, org):
+        return self.issuer_leaf_counts[org] / max(1, self.leaf_count)
+
+    def private_leaf_share(self):
+        private = sum(self.issuer_leaf_counts[org]
+                      for org in self.private_orgs)
+        return private / max(1, self.leaf_count)
+
+    def vendor_issuer_ratios(self, vendor):
+        """One Figure 5 column: issuer → visit ratio for a vendor."""
+        column = self.matrix.get(vendor, Counter())
+        total = sum(column.values())
+        if not total:
+            return {}
+        return {org: count / total for org, count in column.items()}
+
+    def vendors_public_only(self):
+        """Vendors whose devices only see public-trust issuers."""
+        out = []
+        for vendor, column in self.matrix.items():
+            if column and all(org in set(self.public_orgs)
+                              for org in column):
+                out.append(vendor)
+        return sorted(out)
+
+    def vendors_self_signing(self):
+        """Vendors whose own private CA signs servers their devices visit."""
+        out = []
+        for vendor, column in self.matrix.items():
+            own_org = PRIVATE_CA_ORGS.get(vendor)
+            if own_org and column.get(own_org):
+                out.append(vendor)
+        return sorted(out)
+
+    def vendors_exclusively_self_signed(self):
+        """Vendors whose devices see *only* their own CA (Canary/Tuya/Obihai)."""
+        out = []
+        for vendor in self.vendors_self_signing():
+            column = self.matrix[vendor]
+            own_org = PRIVATE_CA_ORGS[vendor]
+            if set(column) == {own_org}:
+                out.append(vendor)
+        return sorted(out)
+
+
+def issuer_report(dataset, certificates, ecosystem):
+    """Run the Section 5.2 analysis.
+
+    Args:
+        dataset: the ClientHello capture (for device→server attribution).
+        certificates: the probed certificate dataset.
+        ecosystem: the authority ecosystem (CCADB stand-in).
+    """
+    results = certificates.results_at()
+    leaves = certificates.leaf_certificates()
+    issuer_counts = Counter(leaf_issuer_org(leaf) for leaf in leaves.values())
+    orgs = sorted(issuer_counts)
+    public = [org for org in orgs if ecosystem.is_public_trust(org)]
+    private = [org for org in orgs if not ecosystem.is_public_trust(org)]
+    matrix = defaultdict(Counter)
+    for sni in dataset.snis():
+        result = results.get(sni)
+        if result is None or result.leaf is None:
+            continue
+        org = leaf_issuer_org(result.leaf)
+        for device in dataset.sni_devices(sni):
+            matrix[dataset.device_vendor(device)][org] += 1
+    return IssuerReport(
+        server_count=len(certificates.reachable_fqdns()),
+        leaf_count=len(leaves),
+        issuer_orgs=orgs, public_orgs=public, private_orgs=private,
+        issuer_leaf_counts=issuer_counts, matrix=dict(matrix))

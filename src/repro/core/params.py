@@ -1,0 +1,130 @@
+"""Appendix B.3 / B.9 / B.10 — TLS parameter analyses.
+
+- Table 12: TLS versions proposed (no 1.3 in the capture; 26 devices
+  still proposing SSL 3.0);
+- FALLBACK_SCSV presence (20 devices, 6 vendors);
+- extension usage relative to known libraries (session_ticket /
+  renegotiation_info / padding / ALPN / NPN);
+- OCSP ``status_request`` adoption (648 devices, 33 vendors);
+- GREASE in suites (501 devices, 23 vendors) and extensions (503 devices,
+  15 vendors).
+"""
+
+from collections import Counter, defaultdict
+
+from repro.tlslib.ciphersuites import FALLBACK_SCSV
+from repro.tlslib.extensions import ExtensionType as Ext
+from repro.tlslib.extensions import extension_name
+from repro.tlslib.grease import contains_grease
+from repro.tlslib.versions import TLSVersion
+
+
+def version_proposals(dataset):
+    """Table 12 — number of proposals (records) per TLS version."""
+    counts = Counter()
+    for record in dataset.records:
+        counts[record.tls_version] += 1
+    return {version: counts.get(version, 0)
+            for version in sorted(TLSVersion, reverse=True)}
+
+
+def ssl3_devices(dataset):
+    """Devices (and their vendors) still proposing SSL 3.0."""
+    devices = defaultdict(int)
+    for record in dataset.records:
+        if record.tls_version == TLSVersion.SSL_3_0:
+            devices[record.device_id] += 1
+    vendors = Counter(dataset.device_vendor(d) for d in devices)
+    return dict(devices), dict(vendors)
+
+
+def multi_version_devices(dataset):
+    """Devices proposing more than one TLS version over the capture."""
+    versions = defaultdict(set)
+    for record in dataset.records:
+        versions[record.device_id].add(record.tls_version)
+    return sorted(d for d, vs in versions.items() if len(vs) > 1)
+
+
+def fallback_scsv_usage(dataset):
+    """Devices/vendors including TLS_FALLBACK_SCSV (Appendix B.3.1)."""
+    devices = set()
+    for record in dataset.records:
+        if FALLBACK_SCSV in record.ciphersuites:
+            devices.add(record.device_id)
+    vendors = sorted({dataset.device_vendor(d) for d in devices})
+    return sorted(devices), vendors
+
+
+def ocsp_usage(dataset):
+    """Devices/vendors including ``status_request`` (Appendix B.9)."""
+    devices = set()
+    for record in dataset.records:
+        if int(Ext.STATUS_REQUEST) in record.extensions:
+            devices.add(record.device_id)
+    vendors = sorted({dataset.device_vendor(d) for d in devices})
+    return sorted(devices), vendors
+
+
+def grease_usage(dataset):
+    """GREASE adoption (Appendix B.10).
+
+    Returns a dict with devices/vendors using GREASE in ciphersuites, in
+    extensions, and the devices GREASE-ing extensions only.
+    """
+    suite_devices, ext_devices = set(), set()
+    for record in dataset.records:
+        if contains_grease(record.ciphersuites):
+            suite_devices.add(record.device_id)
+        if contains_grease(record.extensions):
+            ext_devices.add(record.device_id)
+    return {
+        "suite_devices": sorted(suite_devices),
+        "suite_vendors": sorted({dataset.device_vendor(d)
+                                 for d in suite_devices}),
+        "extension_devices": sorted(ext_devices),
+        "extension_vendors": sorted({dataset.device_vendor(d)
+                                     for d in ext_devices}),
+        "extension_only_devices": sorted(ext_devices - suite_devices),
+    }
+
+
+def extension_usage(dataset):
+    """extension name → number of devices ever proposing it."""
+    devices_by_ext = defaultdict(set)
+    for record in dataset.records:
+        for code in record.extensions:
+            devices_by_ext[code].add(record.device_id)
+    return {extension_name(code): len(devices)
+            for code, devices in sorted(devices_by_ext.items())}
+
+
+def extension_divergence(dataset, corpus):
+    """Appendix B.3.3 — devices matching a library's suite list exactly but
+    diverging in extensions; report which extensions account for it."""
+    library_lists = {}
+    for fingerprint in corpus:
+        library_lists.setdefault(tuple(fingerprint.ciphersuites),
+                                 set()).add(tuple(fingerprint.extensions))
+    added, removed = Counter(), Counter()
+    cases = 0
+    seen = set()
+    for record in dataset.records:
+        key = (record.ciphersuites, record.extensions)
+        if key in seen:
+            continue
+        seen.add(key)
+        expected_sets = library_lists.get(tuple(record.ciphersuites))
+        if not expected_sets:
+            continue
+        if tuple(record.extensions) in expected_sets:
+            continue
+        cases += 1
+        observed = set(record.extensions)
+        closest = min(expected_sets,
+                      key=lambda exts: len(observed ^ set(exts)))
+        for code in observed - set(closest):
+            added[extension_name(code)] += 1
+        for code in set(closest) - observed:
+            removed[extension_name(code)] += 1
+    return {"cases": cases, "added": dict(added), "removed": dict(removed)}

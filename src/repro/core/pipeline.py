@@ -1,0 +1,92 @@
+"""One-call orchestration of the full study.
+
+``run_full_study`` executes every analysis in paper order and returns a
+nested dict of results — the programmatic equivalent of regenerating all
+tables and figures.  Examples and the integration tests drive this.
+"""
+
+from repro.core import (
+    chains,
+    ct_validity,
+    customization,
+    geo,
+    issuers,
+    labcompare,
+    matching,
+    params,
+    preferences,
+    security,
+    semantics,
+    sharing,
+    slds,
+)
+from repro.inspector.timeline import PROBE_TIME
+
+
+def run_client_side(study):
+    """Section 4 + Appendix B analyses."""
+    dataset, corpus = study.dataset, study.corpus
+    match_report = matching.match_against_corpus(dataset, corpus)
+    semantic = semantics.semantic_fingerprinting(dataset, corpus)
+    tie_fraction, ties = sharing.server_specific_fingerprints(dataset,
+                                                              corpus)
+    return {
+        "matching": match_report,
+        "degree_distribution": customization.degree_distribution(dataset),
+        "doc_vendor": customization.doc_vendor_all(dataset),
+        "doc_device": customization.doc_device_all(dataset),
+        "heterogeneity": customization.top_vendor_heterogeneity(dataset),
+        "vulnerability": security.vulnerability_report(dataset),
+        "jaccard_pairs": sharing.vendor_similarity_pairs(dataset),
+        "server_tie_fraction": tie_fraction,
+        "server_ties": ties,
+        "semantic_summary": semantics.semantic_summary(semantic),
+        "versions": params.version_proposals(dataset),
+        "fallback": params.fallback_scsv_usage(dataset),
+        "ocsp": params.ocsp_usage(dataset),
+        "grease": params.grease_usage(dataset),
+        "lowest_vulnerable_index":
+            preferences.lowest_vulnerable_index(dataset),
+        "clean_vendors": preferences.vendors_without_vulnerable(dataset),
+        "preferred_components": preferences.preferred_components(dataset),
+    }
+
+
+def run_server_side(study):
+    """Section 5 + Appendix C analyses."""
+    dataset = study.dataset
+    certificates = study.certificates
+    ecosystem = study.ecosystem
+    validator = study.validator()
+    survey = chains.validate_all(certificates, validator, at=PROBE_TIME)
+    issuer_rep = issuers.issuer_report(dataset, certificates, ecosystem)
+    ct_rep = ct_validity.ct_report(dataset, certificates, survey,
+                                   ecosystem, study.network.ct_logs)
+    sld_rows = slds.sld_rows(dataset, certificates)
+    return {
+        "issuers": issuer_rep,
+        "survey": survey,
+        "validation_failures": chains.validation_failure_rows(
+            survey, dataset, ecosystem),
+        "private_issuer_rows": chains.private_issuer_rows(
+            survey, dataset, ecosystem),
+        "expired": chains.expired_rows(certificates, dataset),
+        "ct": ct_rep,
+        "netflix": ct_validity.netflix_rows(certificates,
+                                            study.network.ct_logs),
+        "ct_private_figure": ct_validity.private_chain_ct_figure(
+            survey, ecosystem, study.network.ct_logs),
+        "slds": sld_rows,
+        "sld_stats": slds.sld_statistics(sld_rows),
+        "geo": geo.geo_comparison(certificates),
+        "lab": labcompare.lab_comparison(dataset, certificates,
+                                         study.network),
+    }
+
+
+def run_full_study(study):
+    """Everything, in paper order."""
+    return {
+        "client": run_client_side(study),
+        "server": run_server_side(study),
+    }

@@ -1,0 +1,161 @@
+"""Markdown study report generation.
+
+Renders the full pipeline output (:func:`repro.core.pipeline.run_full_study`)
+into a single self-contained markdown document — the study's "paper", with
+every table in reproduction order.  Used by the CLI's ``report`` command.
+"""
+
+import time
+
+from repro.core.tables import percent
+from repro.x509.validation import ChainStatus
+
+
+def _md_table(headers, rows):
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _section_client(client):
+    parts = ["## Client-side TLS (Section 4)\n"]
+    match = client["matching"]
+    parts.append(
+        f"- distinct fingerprints: **{match.total_fingerprints}**; "
+        f"matched to known libraries: **{match.matched_count}** "
+        f"({percent(match.matched_fraction)}); "
+        f"{len(match.unsupported_libraries())} of "
+        f"{len(match.matched_libraries())} matched libraries were "
+        "unsupported as of 2020.")
+    degrees = client["degree_distribution"]
+    parts.append("\n### Fingerprint degree distribution (Table 2)\n")
+    parts.append(_md_table(
+        ["degree", "share"],
+        [[bucket, percent(share)] for bucket, share in degrees.items()]))
+    parts.append("\n### Heterogeneity across devices (Table 3)\n")
+    parts.append(_md_table(
+        ["vendor", "#fingerprints", "shared by ≥10 devices",
+         "used by 1 device"],
+        [[row.vendor, row.fingerprint_count,
+          percent(row.shared_by_10_or_more),
+          percent(row.used_by_one_device)]
+         for row in client["heterogeneity"]]))
+    vuln = client["vulnerability"]
+    parts.append(
+        f"\n### Vulnerabilities (Section 4.2)\n\n"
+        f"- {vuln.vulnerable_fingerprints} fingerprints "
+        f"({percent(vuln.vulnerable_fraction)}) contain a vulnerable "
+        f"component; 3DES appears in "
+        f"{percent(vuln.component_fraction('3DES'))}.\n"
+        f"- severe (anon/export/NULL) suites: "
+        f"{vuln.severe_fingerprints} fingerprints on "
+        f"{len(vuln.severe_devices)} devices of "
+        f"{len(vuln.severe_vendors)} vendors.")
+    parts.append("\n### Cross-vendor sharing (Table 4/5)\n")
+    parts.append(_md_table(
+        ["Jaccard", "vendor pair"],
+        [[f"{s:.2f}", f"{a} / {b}"]
+         for s, a, b in client["jaccard_pairs"][:12]]))
+    parts.append(
+        f"\n{percent(client['server_tie_fraction'])} of SNIs are tied to "
+        "server-specific fingerprints; cross-vendor ties:\n")
+    parts.append(_md_table(
+        ["domain", "#devices", "vendors"],
+        [[tie.sld, tie.device_count, ", ".join(tie.vendors)]
+         for tie in client["server_ties"][:10]]))
+    parts.append("\n### Semantics-aware matching (Table 11)\n")
+    parts.append(_md_table(
+        ["category", "share", "#vendors"],
+        [[category, percent(data["share"]), data["vendors"]]
+         for category, data in client["semantic_summary"].items()]))
+    versions = client["versions"]
+    parts.append("\n### TLS versions (Table 12)\n")
+    parts.append(_md_table(
+        ["version", "proposals"],
+        [[version.pretty, count] for version, count in versions.items()]))
+    return "\n".join(parts)
+
+
+def _section_server(server):
+    parts = ["\n## Server-side PKI (Section 5)\n"]
+    issuers = server["issuers"]
+    parts.append(
+        f"- {issuers.server_count} servers presented "
+        f"{issuers.leaf_count} distinct leaf certificates from "
+        f"{issuers.issuer_org_count} issuer organizations.\n"
+        f"- DigiCert share: {percent(issuers.issuer_share('DigiCert'))}; "
+        f"private CAs: {percent(issuers.private_leaf_share())}.\n"
+        f"- vendors signing their own servers: "
+        f"{', '.join(issuers.vendors_self_signing())}.\n"
+        f"- exclusively vendor-signed: "
+        f"{', '.join(issuers.vendors_exclusively_self_signed())}.")
+    counts = server["survey"].status_counts()
+    parts.append("\n### Chain validation (Section 5.3)\n")
+    parts.append(_md_table(
+        ["status", "#servers"],
+        [[status.value, counts[status]]
+         for status in sorted(counts, key=lambda s: -counts[s])]))
+    parts.append("\n### Validation failures (Table 7)\n")
+    parts.append(_md_table(
+        ["domain", "#FQDNs", "issuer", "#devices"],
+        [[row.domain, row.fqdn_count, row.leaf_issuer, row.device_count]
+         for row in server["validation_failures"]]))
+    parts.append("\n### Expired during capture (Table 8)\n")
+    parts.append(_md_table(
+        ["domain", "not after", "issuer", "vendors"],
+        [[row.domain, row.not_after_text(), row.issuer,
+          ", ".join(row.vendors)] for row in server["expired"]]))
+    parts.append("\n### Private issuers (Table 14)\n")
+    parts.append(_md_table(
+        ["status", "domain", "#FQDNs", "issuer"],
+        [["self-signed" if row.status is ChainStatus.SELF_SIGNED
+          else "private root", row.domain, row.fqdn_count,
+          row.leaf_issuer] for row in server["private_issuer_rows"]]))
+    ct = server["ct"]
+    parts.append(
+        f"\n### CT and validity (Section 5.4)\n\n"
+        f"- {ct.tuple_count()} {{server, leaf, vendor}} tuples.\n"
+        f"- public-CA certs missing from CT: "
+        f"{ct.public_ca_certs_missing_from_ct()}.\n"
+        f"- private-leaf/public-root certs logged: "
+        f"{ct.private_chained_certs_in_ct()}.")
+    parts.append("\n### Netflix (Table 9)\n")
+    parts.append(_md_table(
+        ["leaf issuer", "validity days", "#certs", "in CT"],
+        [[row.leaf_issuer_cn,
+          ",".join(str(v) for v in row.validity_days),
+          row.cert_count, row.in_ct] for row in server["netflix"]]))
+    stats = server["sld_stats"]
+    parts.append(
+        f"\n### Server population (Table 15)\n\n"
+        f"- {stats['sld_count']} SLDs; mean "
+        f"{stats['mean_devices']:.1f} devices, median "
+        f"{stats['median_devices']}, max {stats['max_devices']}.")
+    geo = server["geo"]
+    parts.append(
+        f"\n### Geography (Table 16)\n\n"
+        f"- certificates identical across all vantages for "
+        f"{geo.shared_across_all} SNIs; per-location exclusives: "
+        f"{geo.exclusive}.")
+    lab = server["lab"]
+    parts.append(
+        f"\n### Lab cross-check (Appendix C.4.2)\n\n"
+        f"- {len(lab.common_snis)} SNIs in common; "
+        f"{lab.same_issuer} same-issuer "
+        f"({percent(lab.consistency)} consistent).")
+    return "\n".join(parts)
+
+
+def render_report(results, seed, generated_at=None):
+    """Render the full pipeline output as markdown."""
+    stamp = time.strftime("%Y-%m-%d %H:%M:%S UTC",
+                          time.gmtime(generated_at)) \
+        if generated_at is not None else "now"
+    header = (
+        "# IoT TLS & Certificate Practice — study report\n\n"
+        f"Reproduction of Dong et al., IMC 2023 — seed {seed}, "
+        f"generated {stamp}.\n")
+    return "\n".join([header, _section_client(results["client"]),
+                      _section_server(results["server"]), ""])

@@ -1,0 +1,99 @@
+"""Section 4.2 — security levels of fingerprints and ciphersuites.
+
+A fingerprint's security level is the worst level among its proposed
+suites; vulnerable components follow the paper's taxonomy (anonymous key
+exchange, export grade, NULL, RC2/RC4, DES/3DES — MD5/SHA-1 MACs are
+*not* counted).  Also computes Figure 9's per-vendor vulnerability flows
+and the headline statistics (44.63% of fingerprints with at least one
+vulnerable component; 3DES in 41.64%).
+"""
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.tlslib.ciphersuites import SecurityLevel, suite_by_code
+
+
+def fingerprint_vulnerable_components(fp):
+    """Sorted vulnerability tags across a fingerprint's ciphersuites."""
+    tags = set()
+    for code in fp[1]:
+        tags.update(suite_by_code(code).vulnerable_components())
+    return sorted(tags)
+
+
+def fingerprint_security_level(fp):
+    """The worst suite security level in the fingerprint."""
+    worst = SecurityLevel.OPTIMAL
+    for code in fp[1]:
+        level = suite_by_code(code).security_level
+        if level > worst:
+            worst = level
+    return worst
+
+
+@dataclass
+class VulnerabilityReport:
+    """Study-wide vulnerability statistics (Section 4.2)."""
+
+    total_fingerprints: int
+    vulnerable_fingerprints: int
+    multi_device_vulnerable: int
+    component_counts: Counter = field(default_factory=Counter)
+    severe_fingerprints: int = 0
+    severe_devices: set = field(default_factory=set)
+    severe_vendors: set = field(default_factory=set)
+
+    @property
+    def vulnerable_fraction(self):
+        return self.vulnerable_fingerprints / max(1, self.total_fingerprints)
+
+    def component_fraction(self, tag):
+        return self.component_counts[tag] / max(1, self.total_fingerprints)
+
+
+#: Components the paper singles out as severe (footnote 3/4 of Section 4.2).
+SEVERE_TAGS = frozenset({"ANON", "EXPORT", "NULL", "RC2"})
+
+
+def vulnerability_report(dataset):
+    """Compute the Section 4.2 vulnerability statistics."""
+    fingerprints = dataset.fingerprints()
+    report = VulnerabilityReport(
+        total_fingerprints=len(fingerprints),
+        vulnerable_fingerprints=0, multi_device_vulnerable=0)
+    for fp in fingerprints:
+        tags = fingerprint_vulnerable_components(fp)
+        if not tags:
+            continue
+        report.vulnerable_fingerprints += 1
+        if len(dataset.fingerprint_devices(fp)) > 1:
+            report.multi_device_vulnerable += 1
+        for tag in tags:
+            report.component_counts[tag] += 1
+        if SEVERE_TAGS.intersection(tags):
+            report.severe_fingerprints += 1
+            report.severe_devices.update(dataset.fingerprint_devices(fp))
+            report.severe_vendors.update(dataset.fingerprint_vendors(fp))
+    return report
+
+
+def vendor_vulnerability_flows(dataset):
+    """Figure 9 — per-vendor {device, ciphersuite list} vulnerability flows.
+
+    Returns ``vendor → Counter(component tuple → tuple count)`` where each
+    unit is a distinct {device, ciphersuite list} pair, matching the
+    figure's flow units.
+    """
+    flows = defaultdict(Counter)
+    seen = set()
+    for record in dataset.records:
+        key = (record.device_id, record.ciphersuites)
+        if key in seen:
+            continue
+        seen.add(key)
+        tags = set()
+        for code in record.ciphersuites:
+            tags.update(suite_by_code(code).vulnerable_components())
+        flows[record.vendor][tuple(sorted(tags))] += 1
+    return dict(flows)

@@ -1,0 +1,50 @@
+"""Sections 5.1 / C.1 — the IoT server population (Table 15).
+
+Aggregates the probed SNIs by second-level domain and joins device reach
+from the ClientHello capture: 357 distinct SLDs, a long-tail distribution
+with amazon.com at the top (57 FQDNs, 556 devices).
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.x509.names import second_level_domain
+
+
+@dataclass(frozen=True)
+class SLDRow:
+    """One Table 15 row."""
+
+    sld: str
+    server_count: int
+    device_count: int
+
+
+def sld_rows(dataset, certificates):
+    """Aggregate reachable servers by SLD with device reach."""
+    fqdns_by_sld = defaultdict(set)
+    for fqdn in certificates.reachable_fqdns():
+        fqdns_by_sld[second_level_domain(fqdn)].add(fqdn)
+    rows = []
+    for sld, fqdns in fqdns_by_sld.items():
+        devices = set()
+        for fqdn in fqdns:
+            devices.update(dataset.sni_devices(fqdn))
+        rows.append(SLDRow(sld=sld, server_count=len(fqdns),
+                           device_count=len(devices)))
+    rows.sort(key=lambda row: (-row.device_count, row.sld))
+    return rows
+
+
+def sld_statistics(rows):
+    """Headline SLD statistics (Section 5.1)."""
+    if not rows:
+        return {"sld_count": 0, "mean_devices": 0.0, "median_devices": 0,
+                "max_devices": 0}
+    device_counts = sorted(row.device_count for row in rows)
+    return {
+        "sld_count": len(rows),
+        "mean_devices": sum(device_counts) / len(device_counts),
+        "median_devices": device_counts[len(device_counts) // 2],
+        "max_devices": device_counts[-1],
+    }

@@ -1,0 +1,49 @@
+"""Plain-text rendering of the paper's tables.
+
+Benchmarks and examples print through these helpers so every table has a
+consistent, diff-friendly shape.
+"""
+
+
+def percent(value, digits=2):
+    """Format a 0..1 fraction as a percentage string."""
+    return f"{100 * value:.{digits}f}%"
+
+
+def render_table(headers, rows, title=None):
+    """Render an aligned ASCII table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return " | ".join(cell.ljust(width)
+                          for cell, width in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(columns))
+    out.append("-+-".join("-" * width for width in widths))
+    for row in text_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_cdf(values, points=(0.0, 0.25, 0.5, 0.75, 0.9, 1.0)):
+    """Summarize a CDF by the fraction of values ≤ each point."""
+    values = sorted(values)
+    if not values:
+        return {point: 0.0 for point in points}
+    return {point: sum(1 for v in values if v <= point) / len(values)
+            for point in points}
+
+
+def truncate_fp(fp, width=12):
+    """Short printable handle for a fingerprint key."""
+    import hashlib
+    digest = hashlib.sha256(repr(fp).encode()).hexdigest()
+    return digest[:width]

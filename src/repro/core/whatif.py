@@ -1,0 +1,206 @@
+"""What-if experiments on the paper's recommendations and design choices.
+
+The paper's Discussion section makes recommendations it cannot evaluate
+on the real Internet; our simulator can:
+
+- :func:`acme_adoption` — what happens to the validity/CT picture when
+  the private vendor CAs adopt ACME automation (Section 5.4's explicit
+  recommendation)?
+- :func:`aia_chasing` — how much of Table 7 is an artifact of
+  Zeek/OpenSSL not fetching intermediates (AIA), and how much is real
+  trust failure?
+- :func:`trust_store_choice` — does validating against a single store
+  instead of the Mozilla+Apple+Microsoft union change any verdicts?
+- :func:`revocation_exposure` — after a simulated key compromise, which
+  populations of devices can actually learn about the revocation?
+- :func:`fingerprint_definition` — how do the study's headline numbers
+  move under alternative fingerprint definitions (suites-only,
+  suites+version, the 3-tuple, JA3)?
+"""
+
+from collections import Counter, defaultdict
+
+from repro.core.issuers import leaf_issuer_org
+from repro.inspector.stacks import stable_rng
+from repro.inspector.timeline import PROBE_TIME
+from repro.tlslib.ja3 import ja3_hash
+from repro.x509.acme import ACMEClient, ACMEServer, WellKnownStore
+from repro.x509.revocation import RevocationAuthority
+from repro.x509.validation import ChainValidator
+
+
+def acme_adoption(study, validity_days=90):
+    """Re-issue every private-CA leaf through ACME automation.
+
+    Returns before/after statistics: validity period distribution and CT
+    coverage for the vendor-signed population.
+    """
+    certificates = study.certificates
+    ecosystem = study.ecosystem
+    results = certificates.results_at()
+    private_leafs = {}
+    for fqdn, result in results.items():
+        if result.leaf is None:
+            continue
+        org = leaf_issuer_org(result.leaf)
+        if not ecosystem.is_public_trust(org):
+            private_leafs.setdefault(org, {})[fqdn] = result.leaf
+
+    before_validities, before_ct = [], 0
+    total = 0
+    for org, leafs in private_leafs.items():
+        for leaf in leafs.values():
+            total += 1
+            before_validities.append(leaf.validity_days)
+            if study.network.ct_logs.query(leaf):
+                before_ct += 1
+
+    # Each vendor CA fronts itself with an ACME endpoint; its operators
+    # enroll every FQDN.  Issuance still comes from the same (private) CA
+    # — ACME fixes rotation and logging, not trust anchoring.
+    well_known = WellKnownStore()
+    after_validities, after_ct = [], 0
+    for org, leafs in sorted(private_leafs.items()):
+        ca = ecosystem.issuer(org if org != "Netflix" else "Netflix")
+        server = ACMEServer(ca, well_known, ct_logs=study.network.ct_logs,
+                            validity_days=validity_days)
+        client = ACMEClient(server, well_known, contact=f"ops@{org}",
+                            rng=stable_rng(study.seed, "acme", org))
+        for fqdn in sorted(leafs):
+            leaf = client.obtain([fqdn], now=PROBE_TIME)
+            after_validities.append(leaf.validity_days)
+            if study.network.ct_logs.query(leaf):
+                after_ct += 1
+
+    def summarize(values):
+        values = sorted(values)
+        if not values:
+            return (0, 0, 0)
+        return (values[0], values[len(values) // 2], values[-1])
+
+    return {
+        "private_leaf_count": total,
+        "before": {"validity_min_med_max": summarize(before_validities),
+                   "ct_share": before_ct / max(1, total)},
+        "after": {"validity_min_med_max": summarize(after_validities),
+                  "ct_share": after_ct / max(1, total)},
+    }
+
+
+def aia_chasing(study, certificates=None):
+    """Revalidate every probed chain with AIA chasing enabled.
+
+    Returns the status histogram with and without chasing, plus the list
+    of FQDNs whose verdict flips to OK — separating "fixable by fetching
+    the intermediate" failures from genuine trust failures.
+    """
+    certificates = certificates or study.certificates
+    strict = ChainValidator(study.ecosystem.union_store)
+    chasing = ChainValidator(study.ecosystem.union_store,
+                             intermediate_resolver=
+                             study.ecosystem.aia_resolver())
+    before, after = Counter(), Counter()
+    fixed = []
+    for fqdn, result in certificates.results_at().items():
+        if not result.chain:
+            continue
+        strict_report = strict.validate(result.chain, at=PROBE_TIME,
+                                        hostname=fqdn)
+        chasing_report = chasing.validate(result.chain, at=PROBE_TIME,
+                                          hostname=fqdn)
+        before[strict_report.status] += 1
+        after[chasing_report.status] += 1
+        if strict_report.status != chasing_report.status \
+                and chasing_report.valid:
+            fixed.append(fqdn)
+    return {"before": dict(before), "after": dict(after),
+            "fixed_by_aia": sorted(fixed)}
+
+
+def trust_store_choice(study, certificates=None):
+    """Validate against each single store and the union.
+
+    The modelled stores are aligned (the paper found the union necessary
+    because real programs diverge slightly); the experiment verifies the
+    pipeline is store-parametric and reports per-store verdicts.
+    """
+    certificates = certificates or study.certificates
+    stores = dict(study.ecosystem.stores)
+    stores["union"] = study.ecosystem.union_store
+    histograms = {}
+    for name, store in stores.items():
+        validator = ChainValidator(store)
+        counts = Counter()
+        for fqdn, result in certificates.results_at().items():
+            if not result.chain:
+                continue
+            counts[validator.validate(result.chain, at=PROBE_TIME,
+                                      hostname=fqdn).status] += 1
+        histograms[name] = dict(counts)
+    return histograms
+
+
+def revocation_exposure(study, compromised_share=0.05):
+    """Simulate key compromises and measure who can learn about them.
+
+    A deterministic sample of leafs is revoked at probe time.  Public-CA
+    leafs have a responder whose staples clients can verify; private
+    vendor CAs ship no revocation infrastructure at all (the paper's
+    "once compromised ... may open the door to attackers"), so every
+    device that keeps trusting the pinned root stays exposed.
+    """
+    rng = stable_rng(study.seed, "revocation")
+    certificates = study.certificates
+    dataset = study.dataset
+    ecosystem = study.ecosystem
+    results = certificates.results_at()
+    authorities = {}
+    exposed_devices, protected_devices = set(), set()
+    revoked = {"public": 0, "private": 0}
+    fqdns = sorted(f for f, r in results.items() if r.leaf is not None)
+    sample = rng.sample(fqdns, max(1, int(len(fqdns) * compromised_share)))
+    for fqdn in sample:
+        leaf = results[fqdn].leaf
+        org = leaf_issuer_org(leaf)
+        devices = dataset.sni_devices(fqdn)
+        if ecosystem.is_public_trust(org):
+            authority = authorities.setdefault(
+                org, RevocationAuthority(ecosystem.issuer(org)))
+            authority.revoke(leaf, at=PROBE_TIME)
+            revoked["public"] += 1
+            protected_devices.update(devices)
+        else:
+            # No CRL distribution point, no OCSP responder, no CT trail:
+            # the devices cannot learn the certificate is compromised.
+            revoked["private"] += 1
+            exposed_devices.update(devices)
+    return {
+        "revoked_leafs": revoked,
+        "devices_protected_by_revocation": len(protected_devices
+                                               - exposed_devices),
+        "devices_exposed_no_revocation_path": len(exposed_devices),
+    }
+
+
+def fingerprint_definition(dataset):
+    """Headline metrics under alternative fingerprint definitions."""
+    definitions = {
+        "suites_only": lambda r: (tuple(r.ciphersuites),),
+        "suites+version": lambda r: (int(r.tls_version),
+                                     tuple(r.ciphersuites)),
+        "3-tuple (paper)": lambda r: r.fingerprint(),
+        "ja3": lambda r: (ja3_hash(r.tls_version, r.ciphersuites,
+                                   r.extensions),),
+    }
+    out = {}
+    for name, keyfn in definitions.items():
+        vendors_by_fp = defaultdict(set)
+        for record in dataset.records:
+            vendors_by_fp[keyfn(record)].add(record.vendor)
+        degree_one = sum(1 for vendors in vendors_by_fp.values()
+                         if len(vendors) == 1)
+        out[name] = {
+            "fingerprints": len(vendors_by_fp),
+            "degree_one_share": degree_one / max(1, len(vendors_by_fp)),
+        }
+    return out

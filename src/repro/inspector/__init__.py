@@ -1,0 +1,46 @@
+"""Crowdsourced IoT dataset substrate (IoT Inspector simulation).
+
+The paper's client-side analysis consumes a crowdsourced capture of TLS
+ClientHellos from 2,014 consumer IoT devices (65 vendors, 721 users).
+That dataset is proprietary; this subpackage replaces it with a *generative
+model of the IoT ecosystem* that encodes the paper's explanatory mechanisms
+as causes:
+
+- vendors derive customized TLS stacks from known libraries
+  (:mod:`repro.inspector.stacks`),
+- device types and individual devices layer further stacks on top
+  (firmware revisions, installed applications),
+- shared SDKs (Roku OS, Sonos SDK, Netflix client, ...) carry their own
+  stacks across vendor boundaries (:mod:`repro.inspector.sdks`),
+- supply-chain partnerships make some vendor pairs share stack sets
+  outright (:mod:`repro.inspector.vendors`),
+- users label their devices noisily; identification rules recover
+  vendor/type (:mod:`repro.inspector.labels`).
+
+A seeded :class:`~repro.inspector.generator.WorldGenerator` synthesizes the
+whole ecosystem; captures are emitted as real ClientHello bytes and parsed
+back into records, mirroring how IoT Inspector observes traffic.
+"""
+
+from repro.inspector.model import (
+    ClientHelloRecord,
+    Device,
+    DeviceType,
+    TLSStack,
+    User,
+    Vendor,
+)
+from repro.inspector.dataset import InspectorDataset
+from repro.inspector.generator import WorldGenerator, World
+
+__all__ = [
+    "ClientHelloRecord",
+    "Device",
+    "DeviceType",
+    "TLSStack",
+    "User",
+    "Vendor",
+    "InspectorDataset",
+    "WorldGenerator",
+    "World",
+]

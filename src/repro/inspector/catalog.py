@@ -1,0 +1,390 @@
+"""The IoT server catalog: every domain the synthetic devices visit.
+
+This is the world's server-side configuration.  It encodes, as *causes*,
+the paper's server-side findings:
+
+- Table 15's most-popular SLDs with their FQDN counts;
+- Table 7's chains that fail validation (private issuers presenting
+  chains without a trusted root, plus the DigiCert-signed amazonaws.com
+  host with a broken chain);
+- Table 8's long-expired certificates (skyegloup.com, wink.com);
+- Table 14's private-root and self-signed chains (including the
+  ``samsunghrm.com`` chain of two identical certificates and the
+  self-signed ``ueiwsp.com`` / ``dishaccess.tv`` / ``tuyaus.com`` leafs);
+- the ``a2.tuyaus.com`` CN-mismatch case (Section 5.3);
+- Table 9's Netflix split personality: a fully private root with
+  8,150-day leafs next to a VeriSign-chained intermediate issuing
+  30–396-day leafs, none logged in CT;
+- the 43 SNIs that became unreachable between capture and probing.
+
+Chain kinds (interpreted by :mod:`repro.probing.network`):
+
+- ``ok``           — leaf + intermediates, root omitted (the RFC 5246 norm);
+- ``with_root``    — full chain including the (possibly private) root;
+- ``leaf_only``    — bare leaf (chain length 1);
+- ``no_intermediate`` — leaf + root but missing the signing intermediate;
+- ``self_signed``  — leaf signed by its own key;
+- ``duplicate_leaf`` — the leaf presented twice (samsunghrm.com).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class FqdnGroup:
+    """A set of same-behaviour hosts under one SLD.
+
+    Attributes:
+        count: number of FQDNs in the group.
+        chain: chain kind (see module docstring).
+        issuer: issuing CA org; None inherits the domain default.
+        validity_days: leaf validity override.
+        expired_not_after: ISO date — the leaf expired on this date (long
+            before probing), as in Table 8.
+        cn_mismatch: leaf omits the host from CN and SAN.
+        ct_absent: public-CA leaf deliberately not logged (the 8 cases).
+        share: certificate-sharing group id; all FQDNs in groups carrying
+            the same id across the catalog present one shared leaf.
+        wildcard: one wildcard leaf ``*.sld`` covers the whole group.
+        sdk_stack: SDK stack key owning these hosts (client-side routing).
+        unreachable: hosts in this group are dead at probe time (2022).
+        geo_variant: CDN group serving per-vantage distinct leafs.
+        ips: IP pool size per FQDN (certificate↔IP sharing, Section 5.1).
+    """
+
+    count: int
+    chain: str = "ok"
+    issuer: str = None
+    validity_days: float = None
+    expired_not_after: str = None
+    cn_mismatch: bool = False
+    ct_absent: bool = False
+    share: str = None
+    wildcard: bool = False
+    sdk_stack: str = None
+    unreachable: bool = False
+    geo_variant: bool = False
+    ips: int = 2
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One second-level domain and its hosts."""
+
+    sld: str
+    owner: str
+    issuer: str
+    groups: tuple
+    #: who visits: "common", "vendor:<Name>", "category:<cat>", "sdk"
+    audience: str = "common"
+
+    @property
+    def fqdn_count(self):
+        return sum(group.count for group in self.groups)
+
+
+def _d(sld, owner, issuer, groups, audience="common"):
+    return DomainSpec(sld=sld, owner=owner, issuer=issuer,
+                      groups=tuple(groups), audience=audience)
+
+
+#: Explicitly modelled domains.  FQDN counts follow Table 15 where the SLD
+#: appears there; failure behaviours follow Tables 7/8/14 and Section 6.
+EXPLICIT_DOMAINS = (
+    # ---- Amazon properties -------------------------------------------------
+    _d("amazon.com", "Amazon", "DigiCert", [
+        FqdnGroup(count=30, wildcard=True, issuer="Amazon", ips=6),
+        FqdnGroup(count=12, issuer="DigiCert", geo_variant=True, ips=4),
+        FqdnGroup(count=14, issuer="DigiCert", ips=4),
+        FqdnGroup(count=1, expired_not_after="2019-03-02",
+                  issuer="Amazon"),  # arcus-uswest (Section 6.1)
+    ], audience="common"),
+    _d("amazonalexa.com", "Amazon", "Amazon", [
+        FqdnGroup(count=2, wildcard=True, ips=8)], audience="common"),
+    _d("amazonaws.com", "Amazon", "Amazon", [
+        FqdnGroup(count=24, issuer="Amazon", wildcard=True, ips=10),
+        FqdnGroup(count=8, issuer="DigiCert", geo_variant=True, ips=5),
+        FqdnGroup(count=1, issuer="DigiCert", chain="no_intermediate"),
+    ], audience="common"),
+    _d("amazonvideo.com", "Amazon", "Amazon", [
+        FqdnGroup(count=23, wildcard=True, geo_variant=True, ips=6)],
+       audience="category:tv"),
+    _d("media-amazon.com", "Amazon", "DigiCert", [FqdnGroup(count=1, ips=12)],
+       audience="common"),
+    _d("amazon-dss.com", "Amazon", "Amazon", [FqdnGroup(count=1)],
+       audience="vendor:Amazon"),
+    _d("amcs-tachyon.com", "Amazon", "Amazon", [FqdnGroup(count=1, ips=16)],
+       audience="vendor:Amazon"),
+    _d("ssl-images-amazon.com", "Amazon", "DigiCert", [FqdnGroup(count=1, ips=8)],
+       audience="common"),
+    # ---- Google properties -------------------------------------------------
+    _d("google.com", "Google", "Google Trust Services", [
+        FqdnGroup(count=24, share="google-mega", ips=8, geo_variant=True)],
+       audience="common"),
+    _d("googleapis.com", "Google", "Google Trust Services", [
+        FqdnGroup(count=34, wildcard=True, ips=6),
+        FqdnGroup(count=1, sdk_stack="google-play/main"),
+    ], audience="common"),
+    _d("gstatic.com", "Google", "Google Trust Services", [
+        FqdnGroup(count=5, share="google-mega", ips=8),
+        FqdnGroup(count=5, wildcard=True, ips=4)], audience="common"),
+    _d("googleusercontent.com", "Google", "Google Trust Services", [
+        FqdnGroup(count=6, wildcard=True, ips=4)], audience="common"),
+    _d("ggpht.com", "Google", "Google Trust Services", [
+        FqdnGroup(count=5, share="google-mega", ips=4)], audience="common"),
+    _d("youtube.com", "Google", "Google Trust Services", [
+        FqdnGroup(count=2, share="google-mega", ips=8)],
+       audience="category:tv"),
+    _d("ytimg.com", "Google", "Google Trust Services", [
+        FqdnGroup(count=4, share="google-mega", ips=4)],
+       audience="category:tv"),
+    _d("doubleclick.net", "Google", "Google Trust Services", [
+        FqdnGroup(count=9, wildcard=True, ips=6, geo_variant=True)],
+       audience="common"),
+    _d("googlesyndication.com", "Google", "Google Trust Services", [
+        FqdnGroup(count=3, wildcard=True, ips=4)], audience="category:tv"),
+    _d("google-analytics.com", "Google", "Google Trust Services", [
+        FqdnGroup(count=2, wildcard=True, ips=6)], audience="common"),
+    _d("nest.com", "Google", "Nest Labs", [
+        FqdnGroup(count=3, chain="ok"),           # Table 7: private, len 2
+        FqdnGroup(count=1, issuer="Google Trust Services"),
+    ], audience="vendor:Google"),
+    # ---- Netflix ------------------------------------------------------------
+    _d("netflix.com", "Netflix", "DigiCert", [
+        FqdnGroup(count=6, issuer="Netflix", chain="ok",
+                  validity_days=8150),            # Table 7 / Table 9
+        FqdnGroup(count=13, issuer="Netflix Public SHA2 RSA CA 3",
+                  validity_days=33, ct_absent=True),  # Table 9: 30–396 d
+        FqdnGroup(count=5, issuer="DigiCert", geo_variant=True, ips=8),
+        FqdnGroup(count=6, issuer="DigiCert", ips=8),
+    ], audience="category:tv"),
+    _d("netflix.net", "Netflix", "Netflix", [
+        FqdnGroup(count=1, chain="with_root", validity_days=8150)],
+       audience="category:tv"),                   # Table 14 (cloud.netflix.net)
+    _d("nflxvideo.net", "Netflix", "DigiCert", [
+        FqdnGroup(count=5, sdk_stack="netflix-client/cdn", ips=24,
+                  geo_variant=True)], audience="sdk"),
+    _d("nflxext.com", "Netflix", "DigiCert", [
+        FqdnGroup(count=2, sdk_stack="netflix-client/api", ips=6)],
+       audience="sdk"),
+    # ---- Roku platform ------------------------------------------------------
+    _d("roku.com", "Roku", "Roku", [
+        FqdnGroup(count=8, chain="ok", sdk_stack="roku-os/main"),
+        FqdnGroup(count=6, chain="leaf_only", sdk_stack="roku-os/update"),
+        FqdnGroup(count=15, chain="with_root", share="roku-wr"),  # Table 14
+        FqdnGroup(count=13, unreachable=True),    # dead by the 2022 probe
+    ], audience="sdk"),
+    _d("rokutime.com", "Roku", "Roku", [
+        FqdnGroup(count=1, chain="with_root")], audience="sdk"),
+    _d("mgo.com", "MGO", "DigiCert", [
+        FqdnGroup(count=2, sdk_stack="roku-os/main")], audience="sdk"),
+    _d("mgo-images.com", "MGO", "DigiCert", [
+        FqdnGroup(count=2, sdk_stack="roku-os/media")], audience="sdk"),
+    _d("ravm.tv", "RAVM", "Sectigo", [
+        FqdnGroup(count=1, sdk_stack="roku-os/media")], audience="sdk"),
+    # ---- Samsung ------------------------------------------------------------
+    _d("samsungcloudsolution.net", "Samsung", "Samsung Electronics", [
+        FqdnGroup(count=7, chain="leaf_only", validity_days=25202,
+                  share="samsung-scs")],
+       audience="vendor:Samsung"),                # Table 7, len 1
+    _d("samsungcloudsolution.com", "Samsung", "Samsung Electronics", [
+        FqdnGroup(count=4, chain="leaf_only", validity_days=10950)],
+       audience="vendor:Samsung"),
+    _d("samsungrm.net", "Samsung", "Samsung Electronics", [
+        FqdnGroup(count=1, chain="leaf_only", validity_days=10950)],
+       audience="vendor:Samsung"),
+    _d("samsungelectronics.com", "Samsung", "Samsung Electronics", [
+        FqdnGroup(count=1, chain="with_root", validity_days=10950)],
+       audience="vendor:Samsung"),                # Table 14, len 4
+    _d("pavv.co.kr", "Samsung", "Samsung Electronics", [
+        FqdnGroup(count=1, chain="with_root", validity_days=25202)],
+       audience="vendor:Samsung"),
+    _d("samsunghrm.com", "Samsung", "Samsung Electronics", [
+        FqdnGroup(count=1, chain="duplicate_leaf", validity_days=10950)],
+       audience="vendor:Samsung"),
+    _d("ueiwsp.com", "Universal Electronics", "Universal Electronics", [
+        FqdnGroup(count=1, chain="self_signed", validity_days=21946)],
+       audience="vendor:Samsung"),                # Table 14: self-signed
+    # ---- other vendor CAs ----------------------------------------------------
+    _d("nintendo.net", "Nintendo", "Nintendo", [
+        FqdnGroup(count=4, chain="leaf_only", validity_days=9300),   # Table 7
+        FqdnGroup(count=14, chain="with_root", validity_days=7233,
+                  share="nintendo-wr"),                               # Table 14
+    ], audience="vendor:Nintendo"),
+    _d("nintendo.com", "Nintendo", "DigiCert", [FqdnGroup(count=2)],
+       audience="vendor:Nintendo"),
+    _d("playstation.net", "Sony", "Sony Computer Entertainment", [
+        FqdnGroup(count=1, chain="leaf_only", validity_days=3650),   # Table 7
+        FqdnGroup(count=11, chain="with_root", validity_days=3650,
+                  share="psn-wr"),                                    # Table 14
+    ], audience="vendor:Sony"),
+    _d("sonyentertainmentnetwork.com", "Sony", "Sony Computer Entertainment", [
+        FqdnGroup(count=1, chain="leaf_only", validity_days=3650),
+        FqdnGroup(count=1, chain="with_root", validity_days=3650),
+    ], audience="vendor:Sony"),
+    _d("sony.com", "Sony", "DigiCert", [FqdnGroup(count=2)],
+       audience="vendor:Sony"),
+    _d("lgtvsdp.com", "LG", "LG Electronics", [
+        FqdnGroup(count=2, chain="with_root", validity_days=3650)],
+       audience="vendor:LG"),                      # Table 14
+    _d("lge.com", "LG", "DigiCert", [FqdnGroup(count=2)],
+       audience="vendor:LG"),
+    _d("lgthinq.com", "LG", "DigiCert", [FqdnGroup(count=1)],
+       audience="vendor:LG"),
+    _d("meethue.com", "Philips", "Philips", [
+        FqdnGroup(count=1, chain="ok", validity_days=7300),          # Table 7
+        FqdnGroup(count=2, issuer="GoDaddy")],
+       audience="vendor:Philips"),
+    _d("philips.com", "Philips", "GlobalSign", [FqdnGroup(count=2)],
+       audience="vendor:Philips"),
+    _d("tesla.services", "Tesla", "Tesla Motor Services", [
+        FqdnGroup(count=4, chain="leaf_only", validity_days=3650),   # Table 7
+        FqdnGroup(count=1, chain="with_root", validity_days=3650),   # Table 14
+    ], audience="vendor:Tesla"),
+    _d("tesla.com", "Tesla", "DigiCert", [FqdnGroup(count=1)],
+       audience="vendor:Tesla"),
+    _d("canaryis.com", "Canary", "Canary Connect", [
+        FqdnGroup(count=2, chain="with_root", validity_days=7240)],
+       audience="vendor:Canary"),                  # Table 14, chain len 4
+    _d("sense.com", "Sense", "Sense Labs", [
+        FqdnGroup(count=2, chain="with_root", validity_days=3650)],
+       audience="vendor:Sense"),                   # Table 14, chain len 3
+    _d("ecobee.com", "ecobee", "ecobee", [
+        FqdnGroup(count=1, chain="with_root", validity_days=7300)],
+       audience="vendor:ecobee"),
+    _d("dtvce.com", "DirecTV", "ATT Mobility and Entertainment", [
+        FqdnGroup(count=1, chain="with_root", validity_days=7300)],
+       audience="vendor:DirecTV"),                 # Table 14, chain len 4
+    _d("directv.com", "DirecTV", "DigiCert", [FqdnGroup(count=1)],
+       audience="vendor:DirecTV"),
+    _d("obitalk.com", "Obihai", "Obihai Technology", [
+        FqdnGroup(count=1, chain="leaf_only", validity_days=7300)],
+       audience="vendor:Obihai"),                  # Table 7
+    _d("dishaccess.tv", "Dish Network", "EchoStar", [
+        FqdnGroup(count=2, chain="self_signed", validity_days=24855)],
+       audience="vendor:Dish Network"),            # Table 14
+    _d("dish.com", "Dish Network", "DigiCert", [FqdnGroup(count=1)],
+       audience="vendor:Dish Network"),
+    _d("tuyaus.com", "Tuya", "Tuya", [
+        FqdnGroup(count=1, chain="self_signed", validity_days=36500),
+        FqdnGroup(count=1, chain="leaf_only", cn_mismatch=True,
+                  validity_days=36500),            # a2.tuyaus.com
+    ], audience="vendor:Tuya"),
+    _d("tuyacn.com", "Tuya", "Tuya", [
+        FqdnGroup(count=1, chain="leaf_only", validity_days=36500)],
+       audience="vendor:Tuya"),
+    # ---- Table 8: long-expired certificates ----------------------------------
+    _d("skyegloup.com", "Denon", "Gandi", [
+        FqdnGroup(count=1, expired_not_after="2018-07-31")],
+       audience="vendor:Denon"),
+    _d("wink.com", "wink", "COMODO", [
+        FqdnGroup(count=1, expired_not_after="2019-04-17"),
+        FqdnGroup(count=1, issuer="DigiCert")],
+       audience="vendor:wink"),
+    # ---- SDK platform domains -------------------------------------------------
+    _d("sonos.com", "Sonos", "Amazon", [
+        FqdnGroup(count=5, sdk_stack="sonos-sdk/main", ips=4),
+        FqdnGroup(count=5, issuer="DigiCert")], audience="sdk"),
+    _d("pandora.com", "Pandora", "DigiCert", [
+        FqdnGroup(count=1, sdk_stack="pandora-client/main", ips=4)],
+       audience="sdk"),
+    _d("arlo.com", "Arlo", "Entrust", [
+        FqdnGroup(count=2, sdk_stack="arlo-sdk/main")], audience="sdk"),
+    _d("netgear.com", "NETGEAR", "Entrust", [
+        FqdnGroup(count=1, sdk_stack="arlo-sdk/main"),
+        FqdnGroup(count=1)], audience="sdk"),
+    _d("hdhomerun.com", "SiliconDust", "Sectigo", [
+        FqdnGroup(count=2, sdk_stack="hdhomerun/main")], audience="sdk"),
+    _d("cast4.audio", "Google", "Google Trust Services", [
+        FqdnGroup(count=1, sdk_stack="cast-audio/main")], audience="sdk"),
+    # ---- big third-party services ---------------------------------------------
+    _d("cloudfront.net", "Amazon", "Amazon", [
+        FqdnGroup(count=21, wildcard=True, ips=31, geo_variant=True)],
+       audience="common"),
+    _d("scdn.co", "Spotify", "DigiCert", [
+        FqdnGroup(count=11, wildcard=True, ips=6)], audience="category:speaker"),
+    _d("spotify.com", "Spotify", "DigiCert", [
+        FqdnGroup(count=8, wildcard=True, ips=6)], audience="category:speaker"),
+    _d("facebook.com", "Facebook", "DigiCert", [
+        FqdnGroup(count=9, wildcard=True, ips=8, geo_variant=True)],
+       audience="category:tv"),
+    _d("plex.tv", "Plex", "Let's Encrypt", [
+        FqdnGroup(count=11, wildcard=True)], audience="category:nas"),
+    _d("sentry-cdn.com", "Sentry", "DigiCert", [FqdnGroup(count=1, ips=4)],
+       audience="common"),
+    # ---- public-CA certs missing from CT (Section 5.4: 8 certificates) -------
+    _d("hp.com", "HP", "DigiCert", [
+        FqdnGroup(count=2),
+        FqdnGroup(count=1, issuer="Microsoft Corporation", ct_absent=True)],
+       audience="vendor:HP"),
+    _d("hpeprint.com", "HP", "Microsoft Corporation", [
+        FqdnGroup(count=3, ct_absent=True)], audience="vendor:HP"),
+    _d("vizio.com", "Vizio", "Apple", [
+        FqdnGroup(count=2, ct_absent=True),
+        FqdnGroup(count=2, issuer="DigiCert")], audience="vendor:Vizio"),
+    _d("tivo.com", "TiVo", "Sectigo", [
+        FqdnGroup(count=1, ct_absent=True),
+        FqdnGroup(count=2)], audience="vendor:TiVo"),
+    _d("xbcs.net", "Belkin", "DigiCert", [
+        FqdnGroup(count=2, ct_absent=True),
+        FqdnGroup(count=2)], audience="vendor:Belkin"),
+)
+
+#: Orgs used for filler third-party application domains.
+_FILLER_ORGS = (
+    "Akamai", "Fastly", "Cloudflare", "TuneIn", "iHeartMedia",
+    "Weather Underground", "Crashlytics", "Mixpanel", "Adobe",
+    "Conviva", "ComScore", "Nielsen", "Irdeto", "Ayla Networks",
+    "Electric Imp", "PubNub", "Xively", "ThingSpace", "Evrythng",
+    "SmartThings Cloud",
+)
+
+#: Issuer weights for domains without an explicit issuer, tuned so DigiCert
+#: ends near its 47% share of leaf certificates (Figure 5).
+FILLER_ISSUER_WEIGHTS = (
+    ("DigiCert", 52),
+    ("Let's Encrypt", 10),
+    ("Amazon", 8),
+    ("Sectigo", 6),
+    ("GoDaddy", 5),
+    ("GlobalSign", 4),
+    ("Google Trust Services", 3),
+    ("COMODO", 3),
+    ("Entrust", 3),
+    ("Microsoft Corporation", 2),
+    ("Apple", 1),
+    ("Starfield", 1),
+    ("Certum", 1),
+    ("Actalis", 1),
+    ("VeriSign", 1),
+)
+
+_FILLER_WORDS_A = (
+    "api", "cloud", "iot", "app", "device", "link", "connect", "hub",
+    "data", "sync", "push", "edge", "core", "net", "home", "cast",
+    "stream", "media", "update", "telemetry", "metrics", "portal",
+    "service", "gateway", "relay", "bridge", "registry", "vault",
+)
+_FILLER_WORDS_B = (
+    "works", "labs", "ware", "ly", "io-systems", "stack", "grid",
+    "sphere", "matic", "sense", "nest", "wave", "pulse", "byte",
+)
+_FILLER_TLDS = ("com", "net", "io", "tv")
+
+
+def filler_domain_names(count):
+    """Deterministically generate ``count`` filler third-party SLDs."""
+    names, i = [], 0
+    while len(names) < count:
+        a = _FILLER_WORDS_A[i % len(_FILLER_WORDS_A)]
+        b = _FILLER_WORDS_B[(i // len(_FILLER_WORDS_A)) % len(_FILLER_WORDS_B)]
+        tld = _FILLER_TLDS[(i // 7) % len(_FILLER_TLDS)]
+        name = f"{a}-{b}.{tld}"
+        if name not in names:
+            names.append(name)
+        i += 1
+    return names
+
+
+def filler_org(index):
+    return _FILLER_ORGS[index % len(_FILLER_ORGS)]

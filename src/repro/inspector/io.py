@@ -1,0 +1,64 @@
+"""JSONL persistence for the anonymized capture.
+
+The paper open-sources an anonymized version of its dataset; this module
+round-trips ours: one JSON object per ClientHello record, with the same
+schema IoT Inspector exposes (device/user identifiers are already
+pseudonymous in the generator).
+"""
+
+import json
+
+from repro.inspector.dataset import InspectorDataset
+from repro.inspector.model import ClientHelloRecord
+from repro.tlslib.versions import TLSVersion
+
+
+def record_to_dict(record):
+    return {
+        "device_id": record.device_id,
+        "vendor": record.vendor,
+        "device_type": record.device_type,
+        "user_id": record.user_id,
+        "timestamp": record.timestamp,
+        "tls_version": int(record.tls_version),
+        "ciphersuites": list(record.ciphersuites),
+        "extensions": list(record.extensions),
+        "sni": record.sni,
+    }
+
+
+def record_from_dict(data):
+    return ClientHelloRecord(
+        device_id=data["device_id"],
+        vendor=data["vendor"],
+        device_type=data["device_type"],
+        user_id=data["user_id"],
+        timestamp=data["timestamp"],
+        tls_version=TLSVersion(data["tls_version"]),
+        ciphersuites=tuple(data["ciphersuites"]),
+        extensions=tuple(data["extensions"]),
+        sni=data.get("sni"),
+    )
+
+
+def save_records(records, path):
+    """Write records as JSONL."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+
+
+def load_records(path):
+    """Read records from JSONL."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(record_from_dict(json.loads(line)))
+    return records
+
+
+def load_dataset(path):
+    """Read a JSONL capture straight into an :class:`InspectorDataset`."""
+    return InspectorDataset(load_records(path))

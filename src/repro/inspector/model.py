@@ -1,0 +1,123 @@
+"""Core entities of the crowdsourced dataset."""
+
+from dataclasses import dataclass, field
+
+from repro.libraries.base import fingerprint_key
+from repro.tlslib.versions import TLSVersion
+
+
+@dataclass(frozen=True)
+class Vendor:
+    """A device vendor (manufacturer brand).
+
+    Attributes:
+        name: brand name as it appears in the study (Table 13).
+        index: the paper's vendor index in Figure 1.
+    """
+
+    name: str
+    index: int
+
+    def __str__(self):
+        return self.name
+
+
+@dataclass(frozen=True)
+class DeviceType:
+    """A product line of one vendor (e.g. Amazon "Echo")."""
+
+    vendor: str
+    name: str
+    category: str = "other"
+
+    @property
+    def full_name(self):
+        return f"{self.vendor} {self.name}"
+
+
+@dataclass(frozen=True)
+class TLSStack:
+    """One TLS client configuration installed on a device.
+
+    A device carries several stacks: the vendor's base stack, possibly a
+    device-type or firmware-specific stack, and one stack per installed
+    application/SDK.  Which stack speaks depends on the destination.
+
+    Attributes:
+        name: human-readable identifier (for debugging/provenance).
+        tls_version: proposed protocol version.
+        ciphersuites / extensions: ordered wire codes.
+        origin_library: full name of the known library this stack was
+            derived from (provenance; the analysis never sees this —
+            recovering it is exactly the fingerprint-matching problem).
+        mutation: short description of how it deviates from the origin
+            (``"exact"``, ``"extensions"``, ``"reorder"``, ``"component"``,
+            ``"custom"``), aligned with the semantics-aware categories of
+            Appendix B.2.
+    """
+
+    name: str
+    tls_version: TLSVersion
+    ciphersuites: tuple
+    extensions: tuple
+    origin_library: str = None
+    mutation: str = "custom"
+
+    def fingerprint(self):
+        """The study's 3-tuple fingerprint key."""
+        return fingerprint_key(self.tls_version, self.ciphersuites,
+                               self.extensions)
+
+
+@dataclass
+class Device:
+    """A single physical device instance in some user's home."""
+
+    device_id: str
+    vendor: str
+    device_type: str
+    user_id: str
+    label: str = ""
+    stacks: dict = field(default_factory=dict)
+    #: destination SLD → stack key in ``stacks`` (application routing).
+    routing: dict = field(default_factory=dict)
+    #: stack key used when no route matches.
+    default_stack: str = "base"
+
+    def stack_for(self, sld):
+        """The stack this device uses when talking to servers under ``sld``."""
+        key = self.routing.get(sld, self.default_stack)
+        return self.stacks[key]
+
+
+@dataclass(frozen=True)
+class User:
+    """A crowdsourcing participant (one home network)."""
+
+    user_id: str
+    region: str = "us"
+
+
+@dataclass(frozen=True)
+class ClientHelloRecord:
+    """One observed ClientHello, in IoT Inspector's schema.
+
+    IoT Inspector deliberately does not keep the full payload; it records
+    the TLS version, ciphersuites, extension *types*, and SNI, plus the
+    device/user attribution added by the labeling pipeline.
+    """
+
+    device_id: str
+    vendor: str
+    device_type: str
+    user_id: str
+    timestamp: int
+    tls_version: TLSVersion
+    ciphersuites: tuple
+    extensions: tuple
+    sni: str = None
+
+    def fingerprint(self):
+        """The study's 3-tuple fingerprint key."""
+        return fingerprint_key(self.tls_version, self.ciphersuites,
+                               self.extensions)

@@ -1,0 +1,35 @@
+"""Study timeline constants (all POSIX seconds, UTC).
+
+The ClientHello capture ran April 29 2019 – August 1 2020; server probing
+happened in April 2022 (hence the 43 unreachable SNIs); the lab dataset
+spans 2017–2021 (Appendix C.4.2).
+"""
+
+import calendar
+
+_SECONDS_PER_DAY = 86400
+
+
+def _ts(year, month, day):
+    return calendar.timegm((year, month, day, 0, 0, 0))
+
+
+CAPTURE_START = _ts(2019, 4, 29)
+CAPTURE_END = _ts(2020, 8, 1)
+PROBE_TIME = _ts(2022, 4, 15)
+LAB_START = _ts(2017, 1, 1)
+LAB_END = _ts(2021, 6, 30)
+
+#: Reference "world creation" time: CAs and long-lived certs predate capture.
+WORLD_EPOCH = _ts(2015, 1, 1)
+
+
+def days(n):
+    """Convert days to seconds."""
+    return int(n * _SECONDS_PER_DAY)
+
+
+def parse_date(text):
+    """Parse ``YYYY-MM-DD`` into POSIX seconds."""
+    year, month, day = (int(part) for part in text.split("-"))
+    return _ts(year, month, day)

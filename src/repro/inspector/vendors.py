@@ -1,0 +1,440 @@
+"""Profiles of the 65 device vendors in the study (Table 13).
+
+Each profile encodes the generative knobs that produce the paper's
+client-side findings:
+
+- ``devices``: population size (2,014 devices total; e.g. 75 Wyze cameras
+  as the paper notes, 118 Roku devices as in Table 5);
+- ``library``: the known-library era the vendor's base stacks derive from;
+- ``hygiene``: 0..1 — low-hygiene vendors keep vulnerable suites, the
+  14 severe vendors of Section 4.2's footnote get < 0.2, the 7 clean
+  vendors of Figure 11 get > 0.85;
+- ``base_stacks`` / ``device_stack_rate`` / ``stacks_per_device``: how many
+  vendor-wide stacks exist and how often a device derives its own —
+  driving the DoC metrics of Sections 4.2–4.3 and Table 3;
+- ``pools``: supply-chain stack pools shared across brands (Table 4's
+  Jaccard pairs — e.g. HDHomeRun/SiliconDust are one company);
+- ``sdks``: third-party application stacks installed on devices
+  (Table 5's server-specific fingerprints);
+- ``own_ca`` / ``ca_validity_days`` / ``exclusive_ca``: the 16 vendors
+  that sign certificates for their own servers (Section 5.2 footnote 5),
+  with the extreme validity periods of footnote 6;
+- ``domains``: the vendor's own second-level domains (feeding the server
+  catalog);
+- ``ssl3_devices``: legacy devices still proposing SSL 3.0 (Table 12's
+  footnote: Amazon 13, Synology 5, Samsung 4, LG 2, TP-Link 1, WD 1).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Static configuration for one vendor (see module docstring)."""
+
+    name: str
+    index: int
+    devices: int
+    types: tuple
+    category: str = "other"
+    library: str = "openssl-1.0.2"
+    hygiene: float = 0.45
+    base_stacks: int = 2
+    device_stack_rate: float = 0.4
+    stacks_per_device: float = 1.4
+    pools: tuple = ()
+    sdks: tuple = ()
+    own_ca: bool = False
+    ca_validity_days: tuple = ()
+    exclusive_ca: bool = False
+    domains: tuple = ()
+    ssl3_devices: int = 0
+    grease_rate: float = 0.0
+    ocsp_rate: float = 0.0
+    fallback_rate: float = 0.0
+    exact_stacks: int = 0
+    exact_library: str = None
+
+
+def _v(**kwargs):
+    return VendorProfile(**kwargs)
+
+
+#: Supply-chain stack pools: brands owned by, or manufacturing for, the same
+#: company share TLS stacks outright (Section 4.4, Table 4).
+SHARED_POOLS = {
+    # Same company, two brand names — identical stack sets (Jaccard 1.0).
+    "silicondust": {"library": "openssl-1.0.2", "stacks": 3},
+    # Roku-licensed TV makers sharing the Roku OS platform stacks.
+    "roku-tv": {"library": "openssl-1.0.1", "stacks": 4},
+    # Arlo was spun out of NETGEAR; shared camera platform.
+    "arlo-netgear": {"library": "openssl-1.0.2", "stacks": 3},
+    # Onkyo and Pioneer merged their AV receiver line.
+    "onkyo-pioneer": {"library": "openssl-1.0.1", "stacks": 2},
+    # Sound United owns both Denon and Marantz.
+    "denon-marantz": {"library": "mbedtls-2", "stacks": 2},
+    # TI reference Wi-Fi modules used by several small-appliance makers.
+    "ti-module": {"library": "mbedtls-1.3", "stacks": 2},
+    # NAS vendors sharing a common Linux userland build: a whole zoo of
+    # bundled services (each with its own TLS client) ships identically on
+    # Synology/WD/QNAP boxes — the paper's Jaccard(Synology, WD) ≈ 0.2
+    # despite both having large fingerprint sets.
+    "nas-linux": {"library": "openssl-1.0.2", "stacks": 24},
+    # Tegra-based Android TV platform (Nvidia Shield, Xiaomi Mi Box).
+    "tegra-androidtv": {"library": "openssl-1.1.0", "stacks": 11},
+    # Set-top boxes sharing a conditional-access middleware stack.
+    "stb-middleware": {"library": "openssl-1.0.1", "stacks": 2},
+}
+
+#: All 65 vendor profiles, indexed as in the paper's Table 13.
+VENDOR_PROFILES = (
+    _v(name="Roku", index=1, devices=118, category="tv",
+       types=("Streaming Stick", "Express", "Ultra", "Premiere", "TV"),
+       library="openssl-1.0.1", hygiene=0.35, base_stacks=2,
+       device_stack_rate=0.12, stacks_per_device=1.2,
+       exact_stacks=1, exact_library="curl-openssl",
+       pools=("roku-tv",), sdks=("roku-os", "netflix-client"),
+       own_ca=True, ca_validity_days=(5000, 4748),
+       domains=("roku.com", "rokutime.com"), ocsp_rate=0.3),
+    _v(name="TCL", index=2, devices=40, category="tv",
+       types=("Roku TV", "Android TV"), library="openssl-1.0.1",
+       hygiene=0.4, base_stacks=1, device_stack_rate=0.0,
+       stacks_per_device=1.0, pools=("roku-tv",),
+       sdks=("roku-os", "netflix-client"), domains=()),
+    _v(name="Samsung", index=3, devices=120, category="tv",
+       types=("Smart TV", "SmartThings Hub", "Refrigerator", "Soundbar"),
+       library="openssl-1.0.1", hygiene=0.15, base_stacks=4,
+       device_stack_rate=0.5, stacks_per_device=1.6,
+       sdks=("netflix-client",), own_ca=True, exact_stacks=2,
+       grease_rate=0.08, fallback_rate=0.11,
+       exact_library="curl-openssl",
+       ca_validity_days=(25202, 10950), ssl3_devices=4,
+       domains=("samsungcloudsolution.net", "samsungcloudsolution.com",
+                "samsungrm.net", "samsungelectronics.com", "pavv.co.kr",
+                "samsunghrm.com", "ueiwsp.com"),
+       ocsp_rate=0.25),
+    _v(name="Sharp", index=4, devices=25, category="tv",
+       types=("Roku TV",), library="openssl-1.0.1", hygiene=0.4,
+       base_stacks=0, device_stack_rate=0.0, stacks_per_device=1.0,
+       pools=("roku-tv",), sdks=("roku-os", "netflix-client")),
+    _v(name="Insignia", index=5, devices=35, category="tv",
+       types=("Roku TV", "Fire TV Edition"), library="openssl-1.0.2",
+       hygiene=0.4, base_stacks=2, device_stack_rate=0.0,
+       stacks_per_device=1.0, pools=("roku-tv",),
+       sdks=("roku-os", "netflix-client")),
+    _v(name="Amazon", index=6, devices=420, category="speaker",
+       types=("Echo", "Echo Dot", "Echo Show", "Echo Plus", "Fire TV",
+              "Fire TV Stick", "Smart Plug", "Cloud Cam", "Ring Doorbell"),
+       library="openssl-1.0.2", hygiene=0.18, base_stacks=6,
+       device_stack_rate=0.40, stacks_per_device=1.6,
+       sdks=("sonos-sdk", "pandora-client", "netflix-client"),
+       own_ca=True, ca_validity_days=(400,),
+       ssl3_devices=13, grease_rate=0.12, ocsp_rate=0.22,
+       fallback_rate=0.13,
+       domains=("amazon.com", "amazonalexa.com", "amazonaws.com",
+                "amazonvideo.com", "media-amazon.com", "amazon-dss.com",
+                "amcs-tachyon.com", "ssl-images-amazon.com"),
+       exact_stacks=2, exact_library="curl-openssl"),
+    _v(name="Nvidia", index=7, devices=56, category="tv",
+       types=("Shield TV", "Shield Pro"), exact_stacks=1, exact_library="curl-openssl", library="openssl-1.1.0",
+       hygiene=0.5, base_stacks=2, device_stack_rate=0.5,
+       stacks_per_device=1.5, pools=("tegra-androidtv",),
+       sdks=("google-play", "netflix-client"),
+       domains=("nvidia.com", "tegrazone.com"), grease_rate=0.25,
+       ocsp_rate=0.2, fallback_rate=0.18),
+    _v(name="Google", index=8, devices=320, category="speaker",
+       types=("Home", "Home Mini", "Chromecast", "Nest Thermostat",
+              "Nest Cam", "Nest Hub", "Wifi Router"),
+       library="openssl-1.1.0", hygiene=0.19, base_stacks=5,
+       device_stack_rate=0.42, stacks_per_device=1.6,
+       own_ca=True, ca_validity_days=(8030,),
+       grease_rate=0.26, ocsp_rate=0.25, fallback_rate=0.11,
+       domains=("google.com", "googleapis.com", "gstatic.com",
+                "googleusercontent.com", "ggpht.com", "youtube.com",
+                "ytimg.com", "doubleclick.net", "googlesyndication.com",
+                "google-analytics.com", "nest.com"),
+       exact_stacks=1, exact_library="curl-openssl"),
+    _v(name="HP", index=9, devices=20, category="printer",
+       types=("OfficeJet", "LaserJet"), library="openssl-1.0.1",
+       hygiene=0.18, base_stacks=2, device_stack_rate=0.5,
+       stacks_per_device=1.4, exact_stacks=1, exact_library="curl-openssl", domains=("hp.com", "hpeprint.com"),
+       ocsp_rate=0.2),
+    _v(name="Western Digital", index=10, devices=45, category="nas",
+       types=("My Cloud", "My Cloud Mirror"), ocsp_rate=0.2, grease_rate=0.1, library="openssl-1.0.2",
+       hygiene=0.17, base_stacks=1, device_stack_rate=0.95,
+       stacks_per_device=1.1, pools=("nas-linux",), ssl3_devices=1,
+       domains=("mycloud.com", "wdc.com"),
+       exact_stacks=1, exact_library="curl-openssl"),
+    _v(name="Xiaomi", index=11, devices=25, category="tv",
+       types=("Mi Box", "Yeelight"), grease_rate=0.1, library="openssl-1.1.0",
+       hygiene=0.45, base_stacks=0, device_stack_rate=0.0,
+       stacks_per_device=1.0, pools=("tegra-androidtv",),
+       sdks=("netflix-client",), domains=("mi.com", "xiaomi.com")),
+    _v(name="Sony", index=12, devices=100, category="tv",
+       types=("Bravia TV", "PlayStation 4", "PlayStation 3", "Soundbar"),
+       library="openssl-1.0.1", hygiene=0.16, base_stacks=4,
+       device_stack_rate=0.65, stacks_per_device=1.8,
+       sdks=("google-play", "netflix-client"), own_ca=True,
+       ca_validity_days=(3650,), grease_rate=0.08, fallback_rate=0.18,
+       domains=("playstation.net", "sonyentertainmentnetwork.com",
+                "sony.com"), ocsp_rate=0.25,
+       exact_stacks=1, exact_library="curl-openssl"),
+    _v(name="Lutron", index=13, devices=12, category="hub",
+       types=("Caseta Bridge",), library="mbedtls-2", hygiene=0.19,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.2,
+       exact_stacks=1, exact_library="mbedtls",
+       domains=("lutron.com",)),
+    _v(name="iDevices", index=14, devices=8, category="plug",
+       types=("Smart Switch",), library="mbedtls-1.3", hygiene=0.5,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.1,
+       exact_stacks=1, exact_library="mbedtls",
+       domains=("idevicesinc.com",)),
+    _v(name="TP-Link", index=15, devices=38, category="plug",
+       types=("Kasa Plug", "Kasa Cam", "Router"), ocsp_rate=0.2, grease_rate=0.1, library="openssl-1.0.1",
+       hygiene=0.15, base_stacks=2, device_stack_rate=0.8,
+       stacks_per_device=1.3, ssl3_devices=1,
+       domains=("tplinkcloud.com", "tp-link.com"),
+       exact_stacks=1, exact_library="curl-openssl"),
+    _v(name="Vizio", index=16, devices=30, category="tv",
+       types=("SmartCast TV",), grease_rate=0.15, library="openssl-1.0.1", hygiene=0.18,
+       base_stacks=2, device_stack_rate=0.35, stacks_per_device=1.3,
+       exact_stacks=1, exact_library="curl-openssl",
+       sdks=("netflix-client",), domains=("vizio.com",), ocsp_rate=0.2),
+    _v(name="Pioneer", index=17, devices=8, category="av",
+       types=("AV Receiver",), library="openssl-1.0.1", hygiene=0.45,
+       base_stacks=1, device_stack_rate=0.25, stacks_per_device=1.1,
+       pools=("onkyo-pioneer",), sdks=("cast-audio",)),
+    _v(name="Onkyo", index=18, devices=8, category="av",
+       types=("AV Receiver",), library="openssl-1.0.1", hygiene=0.45,
+       base_stacks=1, device_stack_rate=0.25, stacks_per_device=1.1,
+       pools=("onkyo-pioneer",), sdks=("cast-audio",)),
+    _v(name="wink", index=19, devices=11, category="hub",
+       types=("Wink Hub",), exact_stacks=1, exact_library="curl-openssl", ocsp_rate=0.25, library="openssl-1.0.1", hygiene=0.4,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.2,
+       domains=("wink.com",)),
+    _v(name="LG", index=20, devices=55, category="tv",
+       types=("webOS TV", "ThinQ Appliance"), library="openssl-1.0.1",
+       hygiene=0.17, base_stacks=3, device_stack_rate=0.6,
+       stacks_per_device=1.8, sdks=("netflix-client",), own_ca=True,
+       exact_stacks=1, exact_library="curl-openssl", grease_rate=0.08,
+       fallback_rate=0.13,
+       ca_validity_days=(3650,), ssl3_devices=2,
+       domains=("lgtvsdp.com", "lge.com", "lgthinq.com"), ocsp_rate=0.2),
+    _v(name="Cisco", index=21, devices=12, category="network",
+       types=("Telepresence", "Router"), ocsp_rate=0.25, grease_rate=0.15, library="openssl-1.0.2",
+       hygiene=0.5, base_stacks=2, device_stack_rate=0.4,
+       stacks_per_device=1.2, exact_stacks=1, exact_library="curl-openssl", domains=("cisco.com", "meraki.com")),
+    _v(name="Philips", index=22, devices=45, category="light",
+       types=("Hue Bridge", "Hue Go", "Air Purifier"), exact_stacks=1, exact_library="mbedtls", grease_rate=0.1,
+       library="openssl-1.0.2", hygiene=0.19, base_stacks=2,
+       device_stack_rate=0.3, stacks_per_device=1.3, own_ca=True,
+       ca_validity_days=(7300,), domains=("meethue.com", "philips.com"),
+       ocsp_rate=0.2),
+    _v(name="Synology", index=23, devices=48, category="nas",
+       types=("DiskStation", "RT Router"), ocsp_rate=0.2, grease_rate=0.1, library="openssl-1.0.1",
+       hygiene=0.05, base_stacks=3, device_stack_rate=0.9,
+       stacks_per_device=3.9, pools=("nas-linux",), ssl3_devices=5,
+       domains=("synology.com", "quickconnect.to"),
+       exact_stacks=1, exact_library="curl-openssl"),
+    _v(name="TiVo", index=24, devices=15, category="tv",
+       types=("DVR", "Mini"), ocsp_rate=0.25, grease_rate=0.12, library="openssl-1.0.1", hygiene=0.3,
+       base_stacks=2, device_stack_rate=0.3, stacks_per_device=1.2,
+       exact_stacks=1, exact_library="curl-openssl",
+       sdks=("netflix-client",), domains=("tivo.com",)),
+    _v(name="Wyze", index=25, devices=75, category="camera",
+       types=("Cam", "Cam Pan", "Sense"), ocsp_rate=0.2, library="openssl-1.0.2",
+       hygiene=0.5, grease_rate=0.15, base_stacks=2, device_stack_rate=0.15,
+       stacks_per_device=1.2, domains=("wyzecam.com", "wyze.com"),
+       exact_stacks=1, exact_library="openssl"),
+    _v(name="Sonos", index=26, devices=50, category="speaker",
+       types=("One", "Beam", "Play:1", "Play:5"), exact_stacks=1, exact_library="curl-openssl", library="openssl-1.1.0",
+       hygiene=0.9, grease_rate=0.2, base_stacks=3, device_stack_rate=0.3,
+       stacks_per_device=1.3, sdks=("sonos-sdk", "pandora-client"),
+       domains=("sonos.com",), ocsp_rate=0.3),
+    _v(name="Amcrest", index=27, devices=10, category="camera",
+       types=("IP Camera",), exact_stacks=1, exact_library="mbedtls", library="openssl-1.0.1", hygiene=0.19,
+       base_stacks=1, device_stack_rate=0.4, stacks_per_device=1.2,
+       domains=("amcrestcloud.com",)),
+    _v(name="Panasonic", index=28, devices=15, category="tv",
+       types=("Viera TV",), ocsp_rate=0.2, grease_rate=0.12, library="openssl-1.0.1", hygiene=0.4,
+       base_stacks=2, device_stack_rate=0.3, stacks_per_device=1.2,
+       exact_stacks=1, exact_library="curl-openssl",
+       sdks=("netflix-client",), domains=("panasonic.com",)),
+    _v(name="QNAP", index=29, devices=10, category="nas",
+       types=("TS NAS",), exact_stacks=1, exact_library="curl-openssl", ocsp_rate=0.25, grease_rate=0.15, library="openssl-1.0.2", hygiene=0.18,
+       base_stacks=1, device_stack_rate=0.8, stacks_per_device=1.5,
+       pools=("nas-linux",), domains=("qnap.com", "myqnapcloud.com")),
+    _v(name="Fing", index=30, devices=4, category="network",
+       types=("Fingbox",), ocsp_rate=0.3, grease_rate=0.3, library="openssl-1.1.0", hygiene=0.88,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.1,
+       domains=("fing.com",)),
+    _v(name="Brother", index=31, devices=12, category="printer",
+       types=("Laser Printer",), ocsp_rate=0.25, library="openssl-1.0.1", hygiene=0.4,
+       base_stacks=0, device_stack_rate=0.0, stacks_per_device=1.0,
+       pools=("roku-tv",), domains=("brother.com",)),
+    _v(name="Dish Network", index=32, devices=8, category="tv",
+       types=("Hopper", "Joey"), library="openssl-1.0.1", hygiene=0.3,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.2,
+       pools=("stb-middleware",), own_ca=True, ca_validity_days=(24855,),
+       domains=("dishaccess.tv", "dish.com")),
+    _v(name="Skybell", index=33, devices=6, category="camera",
+       types=("Video Doorbell",), library="mbedtls-1.3", hygiene=0.4,
+       base_stacks=0, device_stack_rate=0.0, stacks_per_device=1.0,
+       pools=("ti-module", "stb-middleware"), domains=("skybell.com",)),
+    _v(name="NETGEAR", index=34, devices=9, category="camera",
+       types=("Orbi Router", "Arlo Base"), ocsp_rate=0.25, grease_rate=0.15, library="openssl-1.0.2",
+       hygiene=0.4, base_stacks=1, device_stack_rate=0.3,
+       stacks_per_device=1.2, pools=("arlo-netgear",), sdks=("arlo-sdk",),
+       domains=("netgear.com",)),
+    _v(name="Arlo", index=35, devices=9, category="camera",
+       types=("Pro Camera", "Base Station"), ocsp_rate=0.25, grease_rate=0.15, library="openssl-1.0.2",
+       hygiene=0.4, base_stacks=1, device_stack_rate=0.25,
+       stacks_per_device=1.2, pools=("arlo-netgear",), sdks=("arlo-sdk",),
+       domains=("arlo.com",)),
+    _v(name="iRobot", index=36, devices=10, category="appliance",
+       types=("Roomba",), ocsp_rate=0.2, grease_rate=0.1, library="openssl-1.0.2", hygiene=0.5,
+       base_stacks=0, device_stack_rate=0.0, stacks_per_device=1.0,
+       pools=("arlo-netgear",), domains=("irobotapi.com",)),
+    _v(name="Yamaha", index=37, devices=8, category="av",
+       types=("MusicCast Receiver",), ocsp_rate=0.25, library="openssl-1.0.2",
+       hygiene=0.6, base_stacks=1, device_stack_rate=0.3,
+       stacks_per_device=1.1, domains=("yamaha.com",)),
+    _v(name="Texas Instruments", index=38, devices=6, category="module",
+       types=("CC3200 Module",), library="mbedtls-1.3", hygiene=0.4,
+       base_stacks=0, device_stack_rate=0.0, stacks_per_device=1.0,
+       pools=("ti-module",), domains=("ti.com",)),
+    _v(name="Tesla", index=39, devices=5, category="car",
+       types=("Powerwall", "Wall Connector"), ocsp_rate=0.3, library="openssl-1.0.2",
+       hygiene=0.5, base_stacks=1, device_stack_rate=0.4,
+       stacks_per_device=1.2, own_ca=True, ca_validity_days=(3650,),
+       domains=("tesla.services", "tesla.com")),
+    _v(name="Bose", index=40, devices=12, category="speaker",
+       types=("SoundTouch",), ocsp_rate=0.25, grease_rate=0.15, library="mbedtls-1.3", hygiene=0.5,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.2,
+       pools=("ti-module",), domains=("bose.com", "bose.io")),
+    _v(name="Sky", index=41, devices=6, category="tv",
+       types=("Sky Q Box",), grease_rate=0.1, library="openssl-1.0.1",
+       hygiene=0.4, base_stacks=1, device_stack_rate=0.0,
+       stacks_per_device=1.0,
+       pools=("stb-middleware",), sdks=("netflix-client",),
+       domains=("sky.com",)),
+    _v(name="Humax", index=42, devices=5, category="tv",
+       types=("Freeview Box",), library="openssl-1.0.1", hygiene=0.4,
+       base_stacks=0, device_stack_rate=0.0, stacks_per_device=1.0,
+       pools=("stb-middleware",), sdks=("netflix-client",),
+       domains=("humaxdigital.com",)),
+    _v(name="Ubiquity", index=43, devices=8, category="network",
+       types=("UniFi AP", "CloudKey"), ocsp_rate=0.3, grease_rate=0.3, library="openssl-1.1.0",
+       hygiene=0.6, base_stacks=1, device_stack_rate=0.5,
+       stacks_per_device=1.3, domains=("ubnt.com", "ui.com")),
+    _v(name="Logitech", index=44, devices=8, category="hub",
+       types=("Harmony Hub",), ocsp_rate=0.25, library="openssl-1.0.2", hygiene=0.5,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.2,
+       exact_stacks=1, exact_library="curl-openssl",
+       domains=("myharmony.com", "logitech.com")),
+    _v(name="Netatmo", index=45, devices=7, category="weather",
+       types=("Weather Station", "Welcome Cam"), ocsp_rate=0.25, grease_rate=0.15, library="openssl-1.0.1",
+       hygiene=0.3, base_stacks=1, device_stack_rate=0.3,
+       stacks_per_device=1.2, exact_stacks=1, exact_library="curl-openssl", domains=("netatmo.net", "netatmo.com")),
+    _v(name="SiliconDust", index=46, devices=5, category="tv",
+       types=("HDHomeRun Tuner",), library="openssl-1.0.2", hygiene=0.5,
+       base_stacks=0, device_stack_rate=0.0, stacks_per_device=1.0,
+       pools=("silicondust",), domains=("hdhomerun.com",)),
+    _v(name="HDHomeRun", index=47, devices=5, category="tv",
+       types=("Connect Tuner",), library="openssl-1.0.2", hygiene=0.5,
+       base_stacks=0, device_stack_rate=0.0, stacks_per_device=1.0,
+       pools=("silicondust",), sdks=()),
+    _v(name="Sense", index=48, devices=5, category="energy",
+       types=("Energy Monitor",), ocsp_rate=0.3, grease_rate=0.2, library="mbedtls-1.3", hygiene=0.5,
+       base_stacks=1, device_stack_rate=0.2, stacks_per_device=1.1,
+       pools=("ti-module",), own_ca=True, ca_validity_days=(3650,),
+       domains=("sense.com",)),
+    _v(name="DirecTV", index=49, devices=5, category="tv",
+       types=("Genie DVR",), ocsp_rate=0.25, library="openssl-1.0.1", hygiene=0.4,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.1,
+       pools=("stb-middleware",), own_ca=True, ca_validity_days=(7300,),
+       domains=("dtvce.com", "directv.com")),
+    _v(name="Denon", index=50, devices=5, category="av",
+       types=("HEOS Receiver",), ocsp_rate=0.25, grease_rate=0.2, library="mbedtls-2", hygiene=0.5,
+       base_stacks=1, device_stack_rate=0.25, stacks_per_device=1.1,
+       pools=("denon-marantz",), domains=("skyegloup.com",)),
+    _v(name="Marantz", index=51, devices=4, category="av",
+       types=("AV Receiver",), library="mbedtls-2", hygiene=0.5,
+       base_stacks=0, device_stack_rate=0.0, stacks_per_device=1.0,
+       pools=("denon-marantz",)),
+    _v(name="Nanoleaf", index=52, devices=4, category="light",
+       types=("Light Panels",), ocsp_rate=0.3, grease_rate=0.25, library="mbedtls-2", hygiene=0.9,
+       base_stacks=1, device_stack_rate=0.2, stacks_per_device=1.1,
+       domains=("nanoleaf.me",)),
+    _v(name="VMware", index=53, devices=3, category="compute",
+       types=("ESXi Host",), library="openssl-1.0.2", hygiene=0.5,
+       base_stacks=1, device_stack_rate=0.5, stacks_per_device=1.2,
+       domains=("vmware.com",)),
+    _v(name="Obihai", index=54, devices=4, category="voip",
+       types=("OBi VoIP Adapter",), library="openssl-1.0.1", hygiene=0.3,
+       base_stacks=1, device_stack_rate=0.2, stacks_per_device=1.1,
+       own_ca=True, ca_validity_days=(7300,), exclusive_ca=True,
+       domains=("obitalk.com",)),
+    _v(name="Canary", index=55, devices=6, category="camera",
+       types=("All-in-One Camera",), library="openssl-1.0.2", hygiene=0.88,
+       base_stacks=1, device_stack_rate=0.2, stacks_per_device=1.1,
+       own_ca=True, ca_validity_days=(7240,), exclusive_ca=True,
+       domains=("canaryis.com",)),
+    _v(name="ecobee", index=56, devices=6, category="thermostat",
+       types=("Smart Thermostat",), ocsp_rate=0.3, grease_rate=0.2, library="openssl-1.0.2", hygiene=0.87,
+       base_stacks=1, device_stack_rate=0.2, stacks_per_device=1.1,
+       own_ca=True, ca_validity_days=(7300,), domains=("ecobee.com",)),
+    _v(name="Epson", index=57, devices=5, category="printer",
+       types=("EcoTank Printer",), ocsp_rate=0.25, library="openssl-1.0.1", hygiene=0.4,
+       base_stacks=1, device_stack_rate=0.4, stacks_per_device=1.1,
+       exact_stacks=1, exact_library="curl-openssl",
+       domains=("epsonconnect.com",)),
+    _v(name="IKEA", index=58, devices=6, category="light",
+       types=("Tradfri Gateway", "Symfonisk Speaker"), ocsp_rate=0.25, grease_rate=0.15, library="mbedtls-2",
+       hygiene=0.6, base_stacks=1, device_stack_rate=0.2,
+       stacks_per_device=1.1, sdks=("sonos-sdk",), domains=("ikea.com",)),
+    _v(name="Belkin", index=59, devices=22, category="plug",
+       types=("Wemo Switch", "Wemo Insight"), ocsp_rate=0.2, grease_rate=0.1, library="openssl-1.0.1",
+       hygiene=0.1, base_stacks=1, device_stack_rate=0.2,
+       stacks_per_device=1.2, domains=("xbcs.net", "belkin.com")),
+    _v(name="Nintendo", index=60, devices=15, category="console",
+       types=("Switch", "Wii U"), ocsp_rate=0.2, grease_rate=0.12, library="openssl-1.0.2", hygiene=0.5,
+       base_stacks=2, device_stack_rate=0.3, stacks_per_device=1.2,
+       own_ca=True, ca_validity_days=(9300, 7233),
+       domains=("nintendo.net", "nintendo.com")),
+    _v(name="Sleep number", index=61, devices=3, category="appliance",
+       types=("Smart Bed",), library="mbedtls-2", hygiene=0.5,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.1,
+       domains=("sleepiq.sleepnumber.com",)),
+    _v(name="Tuya", index=62, devices=3, category="platform",
+       types=("Smart Plug",), library="mbedtls-1.3", hygiene=0.3,
+       base_stacks=1, device_stack_rate=0.2, stacks_per_device=1.1,
+       own_ca=True, ca_validity_days=(36500,), exclusive_ca=True,
+       domains=("tuyaus.com", "tuyacn.com")),
+    _v(name="Canon", index=63, devices=4, category="printer",
+       types=("PIXMA Printer",), ocsp_rate=0.25, library="openssl-1.0.1", hygiene=0.4,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.1,
+       exact_stacks=1, exact_library="curl-openssl",
+       domains=("c-ij.com",)),
+    _v(name="Vera", index=64, devices=3, category="hub",
+       types=("Vera Controller",), library="openssl-1.0.2", hygiene=0.86,
+       base_stacks=1, device_stack_rate=0.3, stacks_per_device=1.1,
+       domains=("mios.com",)),
+    _v(name="Withings", index=65, devices=4, category="health",
+       types=("Body Scale", "Sleep Mat"), ocsp_rate=0.3, grease_rate=0.3, library="openssl-1.0.2",
+       hygiene=0.89, base_stacks=1, device_stack_rate=0.2,
+       stacks_per_device=1.1, domains=("withings.net", "withings.com")),
+)
+
+PROFILES_BY_NAME = {profile.name: profile for profile in VENDOR_PROFILES}
+
+#: The 16 vendors that operate their own (private) CA — Section 5.2.
+VENDOR_CA_NAMES = tuple(p.name for p in VENDOR_PROFILES if p.own_ca)
+
+#: Vendors whose devices only visit vendor-signed servers — Section 5.2.
+EXCLUSIVE_CA_VENDORS = tuple(p.name for p in VENDOR_PROFILES if p.exclusive_ca)
+
+
+def total_devices():
+    """Total device population across all vendor profiles."""
+    return sum(profile.devices for profile in VENDOR_PROFILES)

@@ -1,0 +1,126 @@
+"""World invariant checker.
+
+A generated :class:`~repro.inspector.generator.World` carries many
+cross-referencing structures (devices → stacks → routing → servers →
+specs).  ``check_world`` validates every structural invariant and returns
+the list of violations — the empty list for a healthy world.  The
+integration tests run it on the study world; downstream users extending
+the generator get a one-call sanity gate.
+"""
+
+from collections import Counter
+
+from repro.inspector.generator import (
+    TARGET_SLD_COUNT,
+    TARGET_SNI_COUNT,
+    TARGET_UNREACHABLE,
+    TARGET_USERS,
+)
+from repro.inspector.timeline import CAPTURE_END, CAPTURE_START
+from repro.inspector.vendors import PROFILES_BY_NAME
+from repro.tlslib.extensions import ExtensionType
+
+
+def check_world(world):
+    """Return a list of human-readable invariant violations."""
+    problems = []
+    problems += _check_servers(world)
+    problems += _check_devices(world)
+    problems += _check_records(world)
+    return problems
+
+
+def _check_servers(world):
+    problems = []
+    fqdns = [spec.fqdn for spec in world.servers]
+    if len(fqdns) != len(set(fqdns)):
+        problems.append("duplicate FQDNs in the server catalog")
+    if len(world.servers) != TARGET_SNI_COUNT:
+        problems.append(
+            f"server count {len(world.servers)} != {TARGET_SNI_COUNT}")
+    unreachable = sum(1 for spec in world.servers if spec.unreachable)
+    if unreachable != TARGET_UNREACHABLE:
+        problems.append(
+            f"unreachable count {unreachable} != {TARGET_UNREACHABLE}")
+    slds = {spec.sld for spec in world.servers}
+    if len(slds) != TARGET_SLD_COUNT:
+        problems.append(f"SLD count {len(slds)} != {TARGET_SLD_COUNT}")
+    for spec in world.servers:
+        if not spec.fqdn.endswith(spec.sld):
+            problems.append(f"{spec.fqdn} not under its SLD {spec.sld}")
+        if spec.chain not in ("ok", "with_root", "leaf_only",
+                              "no_intermediate", "self_signed",
+                              "duplicate_leaf"):
+            problems.append(f"{spec.fqdn}: unknown chain kind "
+                            f"{spec.chain!r}")
+        if spec.ip_count < 1:
+            problems.append(f"{spec.fqdn}: non-positive ip_count")
+    return problems
+
+
+def _check_devices(world):
+    problems = []
+    if len(world.users) != TARGET_USERS:
+        problems.append(f"user count {len(world.users)} != {TARGET_USERS}")
+    user_ids = {user.user_id for user in world.users}
+    fqdns = {spec.fqdn for spec in world.servers}
+    per_vendor = Counter()
+    for device in world.devices:
+        per_vendor[device.vendor] += 1
+        if device.user_id not in user_ids:
+            problems.append(f"{device.device_id}: unknown user "
+                            f"{device.user_id!r}")
+        if "base" not in device.stacks:
+            problems.append(f"{device.device_id}: no base stack")
+        for fqdn, stack_key in device.routing.items():
+            if stack_key not in device.stacks:
+                problems.append(f"{device.device_id}: route to missing "
+                                f"stack {stack_key!r}")
+            if fqdn not in fqdns:
+                problems.append(f"{device.device_id}: route to unknown "
+                                f"host {fqdn!r}")
+        for key, stack in device.stacks.items():
+            if not stack.ciphersuites:
+                problems.append(f"{device.device_id}/{key}: empty suites")
+            if int(ExtensionType.SERVER_NAME) not in stack.extensions:
+                problems.append(f"{device.device_id}/{key}: no SNI "
+                                "extension")
+        profile = PROFILES_BY_NAME.get(device.vendor)
+        if profile is None:
+            problems.append(f"{device.device_id}: unknown vendor "
+                            f"{device.vendor!r}")
+    for name, profile in PROFILES_BY_NAME.items():
+        if per_vendor.get(name, 0) != profile.devices:
+            problems.append(
+                f"{name}: {per_vendor.get(name, 0)} devices, profile "
+                f"says {profile.devices}")
+    return problems
+
+
+def _check_records(world):
+    problems = []
+    device_ids = {device.device_id for device in world.devices}
+    reachable = {spec.fqdn for spec in world.reachable_servers()}
+    users_by_sni = {}
+    for record in world.records:
+        if record.device_id not in device_ids:
+            problems.append(f"record from unknown device "
+                            f"{record.device_id!r}")
+        if not CAPTURE_START <= record.timestamp <= CAPTURE_END:
+            problems.append(f"record at {record.timestamp} outside the "
+                            "capture window")
+        if not record.sni:
+            problems.append("record without SNI")
+        else:
+            users_by_sni.setdefault(record.sni, set()).add(record.user_id)
+    emitting = {record.device_id for record in world.records}
+    silent = device_ids - emitting
+    if silent:
+        problems.append(f"{len(silent)} devices emitted no records")
+    uncovered = [fqdn for fqdn in reachable
+                 if len(users_by_sni.get(fqdn, ())) < 3]
+    if uncovered:
+        problems.append(
+            f"{len(uncovered)} reachable SNIs observed from <3 users "
+            f"(e.g. {uncovered[:3]})")
+    return problems

@@ -1,0 +1,22 @@
+"""Known TLS library fingerprint corpus.
+
+The paper compiles 6,891 fingerprints from default clients of known TLS
+libraries (Appendix B.1): 19 OpenSSL versions, 38 wolfSSL versions, 113
+Mbed TLS/PolarSSL versions, 5,591 curl×OpenSSL builds and 1,130
+curl×wolfSSL builds.  This subpackage models those libraries: each version
+maps deterministically to a default ClientHello configuration
+``{TLS version, ciphersuites, extensions}`` whose evolution across releases
+mirrors the documented history of each library (suite additions/removals,
+extension introductions), so consecutive versions frequently share a
+fingerprint exactly as the paper observes.
+"""
+
+from repro.libraries.base import LibraryFingerprint, fingerprint_key
+from repro.libraries.corpus import LibraryCorpus, build_default_corpus
+
+__all__ = [
+    "LibraryFingerprint",
+    "fingerprint_key",
+    "LibraryCorpus",
+    "build_default_corpus",
+]

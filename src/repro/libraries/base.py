@@ -1,0 +1,66 @@
+"""Common machinery for library fingerprint models."""
+
+import re
+from dataclasses import dataclass
+
+from repro.tlslib.versions import TLSVersion
+
+
+@dataclass(frozen=True)
+class LibraryFingerprint:
+    """The default-client fingerprint of one library version.
+
+    Attributes:
+        library: family name (``OpenSSL``, ``wolfSSL``, ``Mbed TLS``,
+            ``curl+OpenSSL``, ``curl+wolfSSL``).
+        version: version string (e.g. ``1.0.2u``, ``7.52.1+1.0.2m``).
+        tls_version: highest version the default client proposes.
+        ciphersuites: ordered default suite codes.
+        extensions: ordered default extension type codes.
+        release_year: year of release (drives the "no longer supported as
+            of 2020" finding).
+        supported_in_2020: whether the branch still received updates in the
+            capture year.
+    """
+
+    library: str
+    version: str
+    tls_version: TLSVersion
+    ciphersuites: tuple
+    extensions: tuple
+    release_year: int = 0
+    supported_in_2020: bool = False
+
+    @property
+    def full_name(self):
+        return f"{self.library} {self.version}"
+
+    def key(self):
+        return fingerprint_key(self.tls_version, self.ciphersuites,
+                               self.extensions)
+
+
+def fingerprint_key(tls_version, ciphersuites, extensions):
+    """The canonical 3-tuple fingerprint used throughout the study."""
+    return (int(tls_version), tuple(ciphersuites), tuple(extensions))
+
+
+_VERSION_TOKEN = re.compile(r"(\d+|[a-z]+)")
+
+
+def version_sort_key(version):
+    """Sort key handling mixed numeric/letter versions like ``1.0.2u``.
+
+    Numeric tokens compare numerically; letter tokens (patch letters,
+    ``beta``/``pre``/``stable`` tags) compare lexically after numbers of
+    the same position, with pre-release tags ordered before the release.
+    """
+    key = []
+    for token in _VERSION_TOKEN.findall(version.lower()):
+        if token.isdigit():
+            key.append((1, int(token), ""))
+        elif token in ("beta", "pre", "rc", "dev"):
+            key.append((0, 0, token))
+        else:
+            key.append((2, 0, token))
+    return tuple(key)

@@ -1,0 +1,82 @@
+"""The aggregate known-library fingerprint corpus and its matcher.
+
+Reproduces the paper's Section 4.1 corpus: 6,891 library fingerprints (19
+OpenSSL + 38 wolfSSL + 113 Mbed TLS + 5,591 curl×OpenSSL + 1,130
+curl×wolfSSL).  Consecutive versions frequently share a fingerprint; the
+matcher therefore reports the *highest* matching version, mirroring the
+paper's convention ("if a device's fingerprint is identical to F, we use
+the highest version j").
+"""
+
+from repro.libraries import curl, mbedtls, openssl, wolfssl
+from repro.libraries.base import fingerprint_key, version_sort_key
+
+
+class LibraryCorpus:
+    """Indexed collection of library fingerprints with exact matching."""
+
+    def __init__(self, fingerprints):
+        self._fingerprints = list(fingerprints)
+        self._by_key = {}
+        for fingerprint in self._fingerprints:
+            self._by_key.setdefault(fingerprint.key(), []).append(fingerprint)
+
+    def __len__(self):
+        return len(self._fingerprints)
+
+    def __iter__(self):
+        return iter(self._fingerprints)
+
+    @property
+    def distinct_fingerprint_count(self):
+        """Number of distinct {version, suites, extensions} keys."""
+        return len(self._by_key)
+
+    def libraries(self):
+        """Family names present in the corpus."""
+        return sorted({fp.library for fp in self._fingerprints})
+
+    def match(self, tls_version, ciphersuites, extensions):
+        """Exact-match a device fingerprint against the corpus.
+
+        Returns the :class:`~repro.libraries.base.LibraryFingerprint` of
+        the highest matching version, or None when nothing matches.
+        """
+        key = fingerprint_key(tls_version, ciphersuites, extensions)
+        candidates = self._by_key.get(key)
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda fp: (fp.library, version_sort_key(fp.version)))
+
+    def match_all(self, tls_version, ciphersuites, extensions):
+        """All corpus entries sharing a device fingerprint (may span versions)."""
+        key = fingerprint_key(tls_version, ciphersuites, extensions)
+        return list(self._by_key.get(key, ()))
+
+    def ciphersuite_lists(self):
+        """Distinct default ciphersuite lists with a representative entry.
+
+        Feeds the semantics-aware matcher (Appendix B.2), which compares
+        device suite lists against library suite lists independent of
+        extensions and version.
+        """
+        seen = {}
+        for fingerprint in self._fingerprints:
+            current = seen.get(fingerprint.ciphersuites)
+            if current is None or (
+                    (fingerprint.library, version_sort_key(fingerprint.version))
+                    > (current.library, version_sort_key(current.version))):
+                seen[fingerprint.ciphersuites] = fingerprint
+        return seen
+
+
+def build_default_corpus():
+    """Build the full 6,891-entry corpus from all modelled libraries."""
+    fingerprints = []
+    fingerprints.extend(openssl.fingerprints())
+    fingerprints.extend(wolfssl.fingerprints())
+    fingerprints.extend(mbedtls.fingerprints())
+    fingerprints.extend(curl.openssl_build_fingerprints())
+    fingerprints.extend(curl.wolfssl_build_fingerprints())
+    return LibraryCorpus(fingerprints)

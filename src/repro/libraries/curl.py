@@ -1,0 +1,110 @@
+"""curl default fingerprints, compiled against OpenSSL or wolfSSL.
+
+The paper's corpus contains 5,591 curl×OpenSSL builds (curl 7.19.0 through
+7.71.0) and 1,130 curl×wolfSSL builds (curl 7.25.0 through 7.68.0).  A
+curl build inherits the ClientHello of its TLS backend and perturbs the
+extension list with curl-driven features — ALPN from 7.33.0 and NPN during
+the SPDY era (7.29.0 – 7.60.x with OpenSSL) — so many builds collapse onto
+a handful of distinct fingerprints, exactly why the paper's 23 device
+matches resolve to only 16 libraries.
+"""
+
+import itertools
+
+from repro.libraries import openssl, wolfssl
+from repro.libraries.base import LibraryFingerprint, version_sort_key
+from repro.tlslib.extensions import ExtensionType as Ext
+
+#: Corpus sizes reported in the paper (Appendix B.1).
+CURL_OPENSSL_BUILD_COUNT = 5591
+CURL_WOLFSSL_BUILD_COUNT = 1130
+
+
+def curl_versions(first_minor, last_minor):
+    """Generate the curl release list between two minor series.
+
+    Patch counts per minor follow a fixed small cycle (real curl minors
+    carried 0–3 patch releases); the exact populations only need to cover
+    the version *range* the paper names and reach its corpus sizes.
+    """
+    versions = []
+    for minor in range(first_minor, last_minor + 1):
+        for patch in range((minor % 3) + 1):
+            versions.append(f"7.{minor}.{patch}")
+    return versions
+
+
+def _openssl_grid_versions():
+    """A finer-grained OpenSSL version list for the curl build grid."""
+    versions = []
+    for letter in "aeimqt":
+        versions.append(f"1.0.0{letter}")
+    versions.append("1.0.1")
+    for letter in "abcdefghijklmnopqrstu":
+        versions.append(f"1.0.1{letter}")
+    versions.extend(["1.0.2-beta1", "1.0.2-beta2", "1.0.2"])
+    for letter in "abcdefghijklmnopqrstu":
+        versions.append(f"1.0.2{letter}")
+    versions.extend(["1.1.0-pre1", "1.1.0-pre2", "1.1.0-pre3", "1.1.0"])
+    for letter in "abcdefghijkl":
+        versions.append(f"1.1.0{letter}")
+    versions.extend(["1.1.1-pre2", "1.1.1"])
+    for letter in "abcdefghi":
+        versions.append(f"1.1.1{letter}")
+    return versions
+
+
+def _wolfssl_grid_versions():
+    """wolfSSL versions paired with curl in the paper's grid."""
+    return ["2.9.0", "3.0.0", "3.1.0", "3.4.0", "3.6.0", "3.7.0", "3.8.0",
+            "3.9.0", "3.10.3", "3.12.0-stable", "3.14.2", "3.15.3-stable",
+            "4.0.0-stable"]
+
+
+def _curl_extensions(base_extensions, curl_version, backend):
+    """Apply curl's extension perturbations on top of the backend's."""
+    extensions = list(base_extensions)
+    key = version_sort_key(curl_version)
+    if key >= version_sort_key("7.33.0"):
+        extensions.append(int(Ext.APPLICATION_LAYER_PROTOCOL_NEGOTIATION))
+    if backend == "OpenSSL" and (
+            version_sort_key("7.29.0") <= key < version_sort_key("7.61.0")):
+        extensions.append(int(Ext.NEXT_PROTOCOL_NEGOTIATION))
+    return tuple(extensions)
+
+
+def _build(curl_version, backend_name, backend_module, backend_version):
+    base = backend_module.fingerprint_for(backend_version)
+    return LibraryFingerprint(
+        library=f"curl+{backend_name}",
+        version=f"{curl_version}+{backend_version}",
+        tls_version=base.tls_version,
+        ciphersuites=base.ciphersuites,
+        extensions=_curl_extensions(base.extensions, curl_version,
+                                    backend_name),
+        release_year=base.release_year,
+        supported_in_2020=base.supported_in_2020,
+    )
+
+
+def openssl_build_fingerprints(limit=CURL_OPENSSL_BUILD_COUNT):
+    """The curl×OpenSSL build grid, truncated to the paper's corpus size."""
+    grid = itertools.product(curl_versions(19, 71), _openssl_grid_versions())
+    return [
+        _build(curl_version, "OpenSSL", openssl, backend_version)
+        for curl_version, backend_version in itertools.islice(grid, limit)
+    ]
+
+
+def wolfssl_build_fingerprints(limit=CURL_WOLFSSL_BUILD_COUNT):
+    """The curl×wolfSSL build grid, truncated to the paper's corpus size."""
+    grid = itertools.product(curl_versions(25, 68), _wolfssl_grid_versions())
+    return [
+        _build(curl_version, "wolfSSL", wolfssl, backend_version)
+        for curl_version, backend_version in itertools.islice(grid, limit)
+    ]
+
+
+def fingerprints():
+    """All curl build fingerprints (both backends)."""
+    return openssl_build_fingerprints() + wolfssl_build_fingerprints()

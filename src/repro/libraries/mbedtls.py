@@ -1,0 +1,188 @@
+"""Mbed TLS / PolarSSL default-client fingerprints across versions.
+
+Models the 113 versions from the paper's Appendix B.1 (PolarSSL 0.13.1
+through Mbed TLS 2.16.6).  Note the paper's appendix lists "2.16.2" twice;
+we keep one instance and include 2.16.1 so the corpus still counts 113
+distinct versions.
+"""
+
+from repro.libraries.base import LibraryFingerprint, version_sort_key
+from repro.tlslib.ciphersuites import codes_by_names
+from repro.tlslib.extensions import ExtensionType as Ext
+from repro.tlslib.versions import TLSVersion
+
+
+def _expand(prefix, items):
+    return tuple(f"{prefix}{item}" for item in items)
+
+
+#: The 113 versions the paper compiled (Appendix B.1), normalized.
+VERSIONS = (
+    ("0.13.1", "0.14.0", "0.14.2", "0.14.3")
+    + ("1.0.0",)
+    + _expand("1.1.", range(9))
+    + _expand("1.2.", range(20))
+    + _expand("1.3.", range(23))
+    + ("1.4-dtls-preview",)
+    + _expand("2.1.", range(19))
+    + ("2.2.0", "2.2.1")
+    + ("2.3.0",)
+    + ("2.4.0", "2.4.2")
+    + ("2.5.1",)
+    + ("2.6.0",)
+    + ("2.7.0",) + _expand("2.7.", range(2, 16))
+    + ("2.8.0", "2.9.0", "2.11.0", "2.12.0", "2.13.0")
+    + ("2.14.0", "2.14.1")
+    + ("2.16.0", "2.16.1", "2.16.2", "2.16.3", "2.16.4", "2.16.5", "2.16.6")
+)
+
+#: Era metadata from the paper's Table 10.
+_ERA_INFO = {
+    "0": (2009, False),
+    "1.0": (2011, False),
+    "1.2": (2012, False),
+    "1.3": (2013, False),
+    "2.1": (2015, False),
+    "2.2": (2015, False),
+    "2.6": (2017, False),
+    "2.7": (2018, False),
+    "2.12": (2018, False),
+    "2.16": (2018, True),   # LTS branch, 2.16.4 released January 2020
+}
+
+_POLARSSL_0X = codes_by_names([
+    "TLS_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+    "TLS_RSA_WITH_RC4_128_SHA",
+    "TLS_RSA_WITH_RC4_128_MD5",
+    "TLS_RSA_WITH_DES_CBC_SHA",
+])
+
+_POLARSSL_1X = codes_by_names([
+    "TLS_DHE_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_DHE_RSA_WITH_CAMELLIA_256_CBC_SHA",
+    "TLS_DHE_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_DHE_RSA_WITH_CAMELLIA_128_CBC_SHA",
+    "TLS_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_RSA_WITH_CAMELLIA_256_CBC_SHA",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_CAMELLIA_128_CBC_SHA",
+    "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+    "TLS_RSA_WITH_RC4_128_SHA",
+    "TLS_RSA_WITH_RC4_128_MD5",
+    "TLS_RSA_WITH_DES_CBC_SHA",
+])
+
+_POLARSSL_12 = codes_by_names([
+    "TLS_DHE_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_DHE_RSA_WITH_AES_256_CBC_SHA256",
+    "TLS_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_RSA_WITH_AES_256_CBC_SHA256",
+    "TLS_DHE_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_DHE_RSA_WITH_AES_128_CBC_SHA256",
+    "TLS_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_RSA_WITH_AES_128_CBC_SHA256",
+]) + _POLARSSL_1X
+
+_MBED_13 = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384",
+    "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_AES_128_CCM",
+]) + _POLARSSL_12
+
+#: Mbed TLS 2.x trims RC4/DES and (from 2.7) 3DES from the defaults.
+_RC4_DES = set(codes_by_names([
+    "TLS_RSA_WITH_RC4_128_SHA",
+    "TLS_RSA_WITH_RC4_128_MD5",
+    "TLS_RSA_WITH_DES_CBC_SHA",
+]))
+_3DES = set(codes_by_names(["TLS_RSA_WITH_3DES_EDE_CBC_SHA"]))
+
+_CHACHA = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256",
+    "TLS_DHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+])
+
+_EXT_13 = (int(Ext.SERVER_NAME), int(Ext.SUPPORTED_GROUPS),
+           int(Ext.EC_POINT_FORMATS), int(Ext.SIGNATURE_ALGORITHMS))
+_EXT_2X = _EXT_13 + (int(Ext.ENCRYPT_THEN_MAC), int(Ext.EXTENDED_MASTER_SECRET))
+_EXT_26 = _EXT_2X + (int(Ext.SESSION_TICKET),)
+
+
+def _era_of(version):
+    key = version_sort_key(version)
+    numeric = tuple(part[1] for part in key if part[0] == 1)
+    major = numeric[0] if numeric else 0
+    minor = numeric[1] if len(numeric) > 1 else 0
+    if major == 0:
+        return "0"
+    if major == 1:
+        if minor <= 1:
+            return "1.0"
+        if minor == 2:
+            return "1.2"
+        if minor == 3:
+            return "1.3"
+        return "1.3"  # the 1.4 dtls preview shares the 1.3 client defaults
+    # major == 2
+    if minor < 2:
+        return "2.1"
+    if minor < 6:
+        return "2.2"
+    if minor < 7:
+        return "2.6"
+    if minor < 12:
+        return "2.7"
+    if minor < 16:
+        return "2.12"
+    return "2.16"
+
+
+def config_for_version(version):
+    """Compute ``(tls_version, suites, extensions)`` for a version string."""
+    era = _era_of(version)
+    if era == "0":
+        return TLSVersion.TLS_1_1, tuple(_POLARSSL_0X), ()
+    if era == "1.0":
+        return TLSVersion.TLS_1_1, tuple(_POLARSSL_1X), ()
+    if era == "1.2":
+        return TLSVersion.TLS_1_2, tuple(_POLARSSL_12), (_EXT_13[0],
+                                                         _EXT_13[3])
+    if era == "1.3":
+        suites = _MBED_13
+        # SSL3-era suites leave the default list late in the 1.3 branch
+        # (1.3.10+, the "Mbed TLS" renaming point).
+        if version_sort_key(version) >= version_sort_key("1.3.10"):
+            suites = tuple(s for s in suites if s not in _RC4_DES)
+        return TLSVersion.TLS_1_2, tuple(suites), _EXT_13
+    suites = tuple(s for s in _MBED_13 if s not in _RC4_DES)
+    extensions = _EXT_2X
+    if era in ("2.6", "2.7", "2.12", "2.16"):
+        extensions = _EXT_26
+    if era in ("2.7", "2.12", "2.16"):
+        suites = tuple(s for s in suites if s not in _3DES)
+    if era in ("2.12", "2.16"):
+        suites = tuple(_CHACHA) + suites
+    return TLSVersion.TLS_1_2, suites, extensions
+
+
+def fingerprint_for(version):
+    tls_version, suites, extensions = config_for_version(version)
+    release_year, supported = _ERA_INFO[_era_of(version)]
+    library = "PolarSSL" if version_sort_key(version) < version_sort_key("1.3.10") \
+        else "Mbed TLS"
+    return LibraryFingerprint(
+        library=library, version=version, tls_version=tls_version,
+        ciphersuites=tuple(suites), extensions=tuple(extensions),
+        release_year=release_year, supported_in_2020=supported)
+
+
+def fingerprints():
+    """Fingerprints for the 113 versions compiled in the paper."""
+    return [fingerprint_for(version) for version in VERSIONS]

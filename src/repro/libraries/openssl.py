@@ -1,0 +1,219 @@
+"""OpenSSL default-client fingerprints across versions.
+
+Models the 19 OpenSSL versions compiled in the paper's Appendix B.1, plus
+arbitrary patch letters inside each branch (needed for the curl×OpenSSL
+grid).  Each branch has a base configuration; documented history events
+(FREAK export-cipher removal, RC4 deprecation, TLS 1.3 in 1.1.1) change
+the default ClientHello at specific patch levels, so consecutive versions
+often share a fingerprint — the property the paper relies on when it
+reports the *highest* matching version.
+"""
+
+from repro.libraries.base import LibraryFingerprint, version_sort_key
+from repro.tlslib.ciphersuites import codes_by_names, EMPTY_RENEGOTIATION_INFO_SCSV
+from repro.tlslib.extensions import ExtensionType as Ext
+from repro.tlslib.versions import TLSVersion
+
+#: The 19 versions the paper compiled (Appendix B.1).
+VERSIONS = (
+    "1.0.0m", "1.0.0q", "1.0.0t",
+    "1.0.1h", "1.0.1l", "1.0.1r", "1.0.1u",
+    "1.0.2", "1.0.2f", "1.0.2-beta1", "1.0.2-beta2", "1.0.2m", "1.0.2u",
+    "1.1.0l", "1.1.0-pre1", "1.1.0-pre2", "1.1.0-pre3",
+    "1.1.1i", "1.1.1-pre2",
+)
+
+#: Branch metadata from the paper's Table 10: (release year, supported in 2020).
+BRANCH_INFO = {
+    "1.0.0": (2010, False),
+    "1.0.1": (2012, False),
+    "1.0.2": (2015, False),   # EOL 1.0.2u, December 2019
+    "1.1.0": (2016, False),
+    "1.1.1": (2018, True),    # LTS, supported through 2023
+}
+
+_EXPORT_SUITES = codes_by_names([
+    "TLS_RSA_EXPORT_WITH_RC4_40_MD5",
+    "TLS_RSA_EXPORT_WITH_RC2_CBC_40_MD5",
+    "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA",
+    "TLS_DHE_RSA_EXPORT_WITH_DES40_CBC_SHA",
+])
+
+_DES_SUITES = codes_by_names([
+    "TLS_RSA_WITH_DES_CBC_SHA",
+    "TLS_DHE_RSA_WITH_DES_CBC_SHA",
+])
+
+_RC4_SUITES = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_RC4_128_SHA",
+    "TLS_ECDHE_ECDSA_WITH_RC4_128_SHA",
+    "TLS_RSA_WITH_RC4_128_SHA",
+    "TLS_RSA_WITH_RC4_128_MD5",
+])
+
+_LEGACY_CBC_SHA = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA",
+    "TLS_DHE_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_DHE_DSS_WITH_AES_256_CBC_SHA",
+    "TLS_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_RSA_WITH_CAMELLIA_256_CBC_SHA",
+    "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA",
+    "TLS_DHE_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_DHE_DSS_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_SEED_CBC_SHA",
+    "TLS_RSA_WITH_CAMELLIA_128_CBC_SHA",
+])
+
+_3DES_SUITES = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA",
+    "TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA",
+    "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+])
+
+_TLS12_AEAD = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384",
+    "TLS_DHE_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+    "TLS_DHE_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_RSA_WITH_AES_128_GCM_SHA256",
+])
+
+_TLS12_CBC_SHA2 = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384",
+    "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA384",
+    "TLS_DHE_RSA_WITH_AES_256_CBC_SHA256",
+    "TLS_RSA_WITH_AES_256_CBC_SHA256",
+    "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256",
+    "TLS_DHE_RSA_WITH_AES_128_CBC_SHA256",
+    "TLS_RSA_WITH_AES_128_CBC_SHA256",
+])
+
+_CHACHA_SUITES = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256",
+    "TLS_DHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+])
+
+_TLS13_SUITES = codes_by_names([
+    "TLS_AES_256_GCM_SHA384",
+    "TLS_CHACHA20_POLY1305_SHA256",
+    "TLS_AES_128_GCM_SHA256",
+])
+
+_BASE_EXTENSIONS = (
+    int(Ext.SERVER_NAME),
+    int(Ext.SUPPORTED_GROUPS),
+    int(Ext.EC_POINT_FORMATS),
+    int(Ext.SESSION_TICKET),
+)
+
+
+def _patch_rank(version):
+    """Ordinal of the patch level within a branch, for comparing events.
+
+    ``1.0.1`` -> 0, ``1.0.1a`` -> 1, ..., pre/beta releases rank below the
+    plain release.
+    """
+    key = version_sort_key(version)
+    # key looks like ((1,1,'')... ) — count the numeric triple, inspect rest.
+    tail = key[3:] if len(key) > 3 else ()
+    if not tail:
+        return 0
+    kind, _num, token = tail[0]
+    if kind == 0:  # pre/beta/rc tag
+        return -1
+    if kind == 2:  # patch letter
+        return ord(token[0]) - ord("a") + 1
+    return 0
+
+
+def branch_of(version):
+    """Return the ``major.minor.fix`` branch of an OpenSSL version string."""
+    head = version.split("-")[0]
+    parts = head.split(".")
+    branch = ".".join(parts[:3])[:5]
+    return branch
+
+
+def config_for_version(version):
+    """Compute ``(tls_version, suites, extensions)`` for a version string."""
+    branch = branch_of(version)
+    rank = _patch_rank(version)
+    if branch == "1.0.0":
+        suites = _LEGACY_CBC_SHA + _RC4_SUITES + _3DES_SUITES + _DES_SUITES
+        # FREAK response (early 2015, ~1.0.0p/q): drop export-grade suites.
+        if rank < _patch_rank("1.0.0q"):
+            suites = suites + _EXPORT_SUITES
+        return TLSVersion.TLS_1_0, tuple(suites), _BASE_EXTENSIONS
+    if branch == "1.0.1":
+        suites = (_TLS12_AEAD + _TLS12_CBC_SHA2 + _LEGACY_CBC_SHA
+                  + _RC4_SUITES + _3DES_SUITES)
+        extensions = _BASE_EXTENSIONS + (int(Ext.SIGNATURE_ALGORITHMS),)
+        if rank < _patch_rank("1.0.1l"):
+            suites = suites + _DES_SUITES + _EXPORT_SUITES
+            extensions = extensions + (int(Ext.HEARTBEAT),)
+        elif rank < _patch_rank("1.0.1r"):
+            suites = suites + _DES_SUITES
+        return TLSVersion.TLS_1_2, tuple(suites), extensions
+    if branch == "1.0.2":
+        suites = (_TLS12_AEAD + _TLS12_CBC_SHA2 + _LEGACY_CBC_SHA
+                  + _3DES_SUITES)
+        extensions = _BASE_EXTENSIONS + (int(Ext.SIGNATURE_ALGORITHMS),)
+        # 1.0.2 GA and betas still shipped RC4 in the default list; the
+        # RC4 deprecation (RFC 7465 response) landed by 1.0.2f, after which
+        # the branch fingerprint is stable through 1.0.2u (the paper's Wyze
+        # case: 1.0.2f/1.0.2o/1.0.2u share one fingerprint).
+        if rank < _patch_rank("1.0.2f"):
+            suites = _TLS12_AEAD + _TLS12_CBC_SHA2 + _LEGACY_CBC_SHA \
+                + _RC4_SUITES + _3DES_SUITES
+        return TLSVersion.TLS_1_2, tuple(suites), extensions
+    if branch == "1.1.0":
+        suites = _CHACHA_SUITES + _TLS12_AEAD + _TLS12_CBC_SHA2 \
+            + _LEGACY_CBC_SHA
+        # The development snapshots predate the ChaCha20 merge.
+        if rank < 0 and version.endswith(("pre1", "pre2")):
+            suites = _TLS12_AEAD + _TLS12_CBC_SHA2 + _LEGACY_CBC_SHA
+        extensions = _BASE_EXTENSIONS + (
+            int(Ext.SIGNATURE_ALGORITHMS),
+            int(Ext.ENCRYPT_THEN_MAC),
+            int(Ext.EXTENDED_MASTER_SECRET),
+        )
+        return TLSVersion.TLS_1_2, tuple(suites), extensions
+    if branch == "1.1.1":
+        suites = _TLS13_SUITES + _CHACHA_SUITES + _TLS12_AEAD \
+            + _TLS12_CBC_SHA2 + _LEGACY_CBC_SHA
+        extensions = _BASE_EXTENSIONS + (
+            int(Ext.SIGNATURE_ALGORITHMS),
+            int(Ext.ENCRYPT_THEN_MAC),
+            int(Ext.EXTENDED_MASTER_SECRET),
+            int(Ext.SUPPORTED_VERSIONS),
+            int(Ext.PSK_KEY_EXCHANGE_MODES),
+            int(Ext.KEY_SHARE),
+        )
+        if rank < 0:  # 1.1.1-pre2: TLS 1.3 draft without the CCM removal
+            suites = suites + codes_by_names(["TLS_AES_128_CCM_SHA256"])
+        return TLSVersion.TLS_1_3, tuple(suites), extensions
+    raise ValueError(f"unmodelled OpenSSL branch: {branch!r}")
+
+
+def fingerprint_for(version):
+    """Build the :class:`LibraryFingerprint` for one OpenSSL version."""
+    tls_version, suites, extensions = config_for_version(version)
+    release_year, supported = BRANCH_INFO[branch_of(version)]
+    return LibraryFingerprint(
+        library="OpenSSL", version=version, tls_version=tls_version,
+        ciphersuites=suites + (EMPTY_RENEGOTIATION_INFO_SCSV,),
+        extensions=extensions, release_year=release_year,
+        supported_in_2020=supported)
+
+
+def fingerprints():
+    """Fingerprints for the 19 versions compiled in the paper."""
+    return [fingerprint_for(version) for version in VERSIONS]

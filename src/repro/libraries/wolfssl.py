@@ -1,0 +1,169 @@
+"""wolfSSL (née CyaSSL) default-client fingerprints across versions.
+
+Models the 38 versions from the paper's Appendix B.1.  wolfSSL targets
+embedded systems, so its default suite lists are much shorter than
+OpenSSL's, extensions arrive late, and ECC/AEAD support lands with the
+3.x line — matching the documented change log eras.
+"""
+
+from repro.libraries.base import LibraryFingerprint, version_sort_key
+from repro.tlslib.ciphersuites import codes_by_names
+from repro.tlslib.extensions import ExtensionType as Ext
+from repro.tlslib.versions import TLSVersion
+
+#: The 38 versions the paper compiled (Appendix B.1).
+VERSIONS = (
+    "1.8.0",
+    "2.1.1", "2.2.1", "2.2.2", "2.3.0", "2.4.6", "2.4.7", "2.5.0", "2.5.2",
+    "2.5.2b", "2.6.0", "2.8.0", "2.9.0",
+    "3.0.0", "3.0.2", "3.1.0", "3.4.0", "3.4.2", "3.4.8", "3.6.0", "3.7.0",
+    "3.8.0", "3.9.0", "3.9.10-stable", "3.10.2-stable", "3.10.3",
+    "3.11.0-stable", "3.12.0-stable", "3.13.0-stable", "3.14.2", "3.14.5",
+    "3.15.0-stable", "3.15.3-stable", "3.15.6", "3.15.7-stable",
+    "4.0.0-stable",
+    "WCv4.0-RC4", "WCv4.0-RC5",
+)
+
+#: Era metadata: (release year, supported in 2020) keyed by major era.
+_ERA_INFO = {
+    "1": (2010, False),
+    "2": (2012, False),
+    "3.0": (2014, False),
+    "3.4": (2015, False),
+    "3.6": (2015, False),
+    "3.10": (2016, False),
+    "3.13": (2018, False),
+    "3.15": (2018, False),
+    "4": (2019, True),
+}
+
+_CYASSL_SUITES = codes_by_names([
+    "TLS_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+    "TLS_RSA_WITH_RC4_128_SHA",
+    "TLS_RSA_WITH_RC4_128_MD5",
+])
+
+_V2_SUITES = codes_by_names([
+    "TLS_DHE_RSA_WITH_AES_256_CBC_SHA256",
+    "TLS_DHE_RSA_WITH_AES_128_CBC_SHA256",
+    "TLS_RSA_WITH_AES_256_CBC_SHA256",
+    "TLS_RSA_WITH_AES_128_CBC_SHA256",
+    "TLS_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_PSK_WITH_AES_256_CBC_SHA",
+    "TLS_PSK_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+    "TLS_RSA_WITH_RC4_128_SHA",
+])
+
+_V3_ECC_SUITES = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_DHE_RSA_WITH_AES_256_CBC_SHA256",
+    "TLS_DHE_RSA_WITH_AES_128_CBC_SHA256",
+    "TLS_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+])
+
+_V3_CHACHA = codes_by_names([
+    "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256",
+])
+
+_V3_CCM = codes_by_names([
+    "TLS_ECDHE_ECDSA_WITH_AES_128_CCM_8",
+    "TLS_RSA_WITH_AES_128_CCM_8",
+])
+
+_TLS13_SUITES = codes_by_names([
+    "TLS_AES_128_GCM_SHA256",
+    "TLS_AES_256_GCM_SHA384",
+    "TLS_CHACHA20_POLY1305_SHA256",
+])
+
+_ECC_EXTENSIONS = (int(Ext.SUPPORTED_GROUPS), int(Ext.EC_POINT_FORMATS))
+_SIGALG_EXTENSIONS = _ECC_EXTENSIONS + (int(Ext.SIGNATURE_ALGORITHMS),)
+_TLS13_EXTENSIONS = (
+    int(Ext.SUPPORTED_GROUPS),
+    int(Ext.EC_POINT_FORMATS),
+    int(Ext.SIGNATURE_ALGORITHMS),
+    int(Ext.SUPPORTED_VERSIONS),
+    int(Ext.KEY_SHARE),
+)
+
+
+def _era_of(version):
+    if version.startswith("WCv4") or version.startswith("4"):
+        return "4"
+    key = version_sort_key(version)
+    numeric = tuple(part[1] for part in key if part[0] == 1)[:2]
+    if numeric and numeric[0] == 1:
+        return "1"
+    if numeric and numeric[0] == 2:
+        return "2"
+    minor = numeric[1] if len(numeric) > 1 else 0
+    if minor < 4:
+        return "3.0"
+    if minor < 6:
+        return "3.4"
+    if minor < 10:
+        return "3.6"
+    if minor < 13:
+        return "3.10"
+    if minor < 15:
+        return "3.13"
+    return "3.15"
+
+
+def config_for_version(version):
+    """Compute ``(tls_version, suites, extensions)`` for a version string."""
+    era = _era_of(version)
+    if era == "1":
+        return TLSVersion.TLS_1_0, _CYASSL_SUITES, ()
+    if era == "2":
+        # ECC suites and the first extensions land mid-2.x (2.6.0).
+        if version_sort_key(version) >= version_sort_key("2.6.0"):
+            suites = codes_by_names([
+                "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA",
+                "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+            ]) + _V2_SUITES
+            return TLSVersion.TLS_1_2, tuple(suites), _ECC_EXTENSIONS
+        return TLSVersion.TLS_1_2, tuple(_V2_SUITES), ()
+    if era in ("3.0", "3.4", "3.6", "3.10", "3.13", "3.15"):
+        suites = list(_V3_ECC_SUITES)
+        if era != "3.0":
+            suites = _V3_CCM + suites
+        if era in ("3.6", "3.10", "3.13", "3.15"):
+            suites = _V3_CHACHA + suites
+        extensions = _SIGALG_EXTENSIONS
+        if era in ("3.13", "3.15"):
+            extensions = extensions + (int(Ext.EXTENDED_MASTER_SECRET),)
+        if era == "3.15":
+            # 3.15 drops static RSA 3DES from the default list.
+            suites = [s for s in suites
+                      if s not in codes_by_names(["TLS_RSA_WITH_3DES_EDE_CBC_SHA"])]
+        return TLSVersion.TLS_1_2, tuple(suites), extensions
+    # era == "4": TLS 1.3 capable
+    suites = tuple(_TLS13_SUITES) + tuple(_V3_CHACHA) + tuple(_V3_ECC_SUITES[:8])
+    return TLSVersion.TLS_1_3, suites, _TLS13_EXTENSIONS
+
+
+def fingerprint_for(version):
+    tls_version, suites, extensions = config_for_version(version)
+    release_year, supported = _ERA_INFO[_era_of(version)]
+    return LibraryFingerprint(
+        library="wolfSSL", version=version, tls_version=tls_version,
+        ciphersuites=tuple(suites), extensions=tuple(extensions),
+        release_year=release_year, supported_in_2020=supported)
+
+
+def fingerprints():
+    """Fingerprints for the 38 versions compiled in the paper."""
+    return [fingerprint_for(version) for version in VERSIONS]

@@ -1,0 +1,199 @@
+"""The certificate authority ecosystem.
+
+Builds the 33 issuer organizations of the study (Section 5.2): 16 public
+trust CAs whose roots live in the Mozilla/Apple/Microsoft stores, 16
+private vendor CAs (footnote 5) plus Netflix — which is special: besides a
+fully private root ("Netflix Primary Certificate Authority", 8,150-day
+leafs) it operates "Netflix Public SHA2 RSA CA 3", an intermediate chained
+under the public VeriSign root that issues 30–396-day leafs *never logged
+in CT* (Table 9, Section 5.4).
+"""
+
+from repro.inspector.stacks import stable_rng
+from repro.inspector.timeline import WORLD_EPOCH, days
+from repro.x509.ca import CertificateAuthority, IssuancePolicy
+from repro.x509.certificate import sign_certificate
+from repro.x509.keys import generate_keypair
+from repro.x509.names import DistinguishedName
+from repro.x509.truststore import major_stores
+
+#: Public trust CA organizations: (name, leaf validity days, intermediates).
+PUBLIC_CAS = (
+    ("DigiCert", 397, ("DigiCert TLS RSA SHA256 2020 CA1",)),
+    ("Let's Encrypt", 90, ("R3",)),
+    ("Amazon", 395, ("Amazon RSA 2048 M01",)),
+    ("Google Trust Services", 90, ("GTS CA 1C3",)),
+    ("Microsoft Corporation", 397, ("Microsoft Azure TLS Issuing CA 01",)),
+    ("Apple", 365, ("Apple Public EV Server RSA CA 1",)),
+    ("Sectigo", 365, ("Sectigo RSA Domain Validation CA",)),
+    ("COMODO", 730, ("COMODO RSA Domain Validation CA",)),
+    ("GoDaddy", 397, ("Go Daddy Secure CA - G2",)),
+    ("GlobalSign", 397, ("GlobalSign RSA OV SSL CA 2018",)),
+    ("Entrust", 365, ("Entrust Certification Authority - L1K",)),
+    ("Gandi", 730, ("Gandi Standard SSL CA 2",)),
+    ("VeriSign", 730, ("VeriSign Class 3 Public Primary CA - G5",)),
+    ("Starfield", 397, ("Starfield Secure CA - G2",)),
+    ("Certum", 397, ("Certum Domain Validation CA SHA2",)),
+    ("Actalis", 397, ("Actalis Organization Validated Server CA G3",)),
+)
+
+#: Private CA organizations: (name, default leaf validity, intermediates).
+#: Intermediate counts reproduce the chain lengths of Tables 7 and 14
+#: (e.g. Canary presents 4-certificate chains; Nintendo signs from the
+#: root, so with-root chains have length 2).
+PRIVATE_CAS = (
+    ("Roku", 5000, ("Roku Trust Services CA",)),
+    ("Samsung Electronics", 10950, ("Samsung TLS CA", "Samsung Device CA")),
+    ("Nintendo", 9300, ()),
+    ("Sony Computer Entertainment", 3650, ()),
+    ("Tesla Motor Services", 3650, ("Tesla Issuing CA",)),
+    ("Nest Labs", 7300, ("Nest Services CA",)),
+    ("Sense Labs", 3650, ("Sense Cloud CA",)),
+    ("ATT Mobility and Entertainment", 7300,
+     ("ATT Video CA", "ATT Device CA")),
+    ("LG Electronics", 3650, ()),
+    ("Canary Connect", 7240, ("Canary Intermediate 1", "Canary Intermediate 2")),
+    ("Philips", 7300, ("Philips Hue CA",)),
+    ("Obihai Technology", 7300, ()),
+    ("EchoStar", 24855, ()),
+    ("Tuya", 36500, ()),
+    ("ecobee", 7300, ("ecobee Services CA",)),
+    ("Universal Electronics", 21946, ()),
+    ("Netflix", 8150, ("Netflix Intermediate CA",)),
+)
+
+#: The chained-to-public Netflix issuer (counted under the Netflix org).
+NETFLIX_PUBLIC_CHAINED = "Netflix Public SHA2 RSA CA 3"
+
+
+class ChainedPrivateIssuer:
+    """A privately-operated intermediate under a public trust root.
+
+    Mirrors :class:`~repro.x509.ca.CertificateAuthority`'s issuing surface
+    (``issue_leaf`` / ``chain_for`` / ``signing_subject``) so the network
+    builder can treat it uniformly.  Chains built from it validate against
+    the public root, but the operator never logs to CT.
+    """
+
+    def __init__(self, common_name, organization, parent, *, now, rng=None,
+                 key_bits=512, validity_days=3650):
+        self.name = organization
+        self.is_public_trust = False
+        self.policy = IssuancePolicy(validity_days=validity_days,
+                                     logs_to_ct=False)
+        self._parent = parent
+        self._key = generate_keypair(key_bits, rng=rng)
+        self._serial = stable_rng("chained", common_name).getrandbits(40)
+        subject = DistinguishedName(common_name=common_name,
+                                    organization=organization)
+        self.intermediate = sign_certificate(
+            serial=self._serial, subject=subject,
+            issuer=parent.root.subject, issuer_keypair=parent._root_key,
+            not_before=now, not_after=now + days(5475),
+            public_key=self._key.public, is_ca=True)
+
+    @property
+    def signing_subject(self):
+        return self.intermediate.subject
+
+    def issue_leaf(self, common_name, *, now, san_dns_names=None,
+                   validity_days=None, subject_key=None,
+                   subject_organization=None, omit_names=False, ct_logs=None):
+        validity = validity_days or self.policy.validity_days
+        key = subject_key or generate_keypair(512)
+        if omit_names:
+            san_dns_names = ()
+        san = tuple(san_dns_names) if san_dns_names is not None \
+            else (common_name,)
+        if omit_names:
+            common_name, san = "misissued.invalid", ()
+        self._serial += 1
+        subject = DistinguishedName(common_name=common_name,
+                                    organization=subject_organization)
+        cert = sign_certificate(
+            serial=self._serial, subject=subject,
+            issuer=self.signing_subject, issuer_keypair=self._key,
+            not_before=now, not_after=now + days(validity),
+            public_key=key.public, san_dns_names=san, is_ca=False)
+        # logs_to_ct is False: the operator never submits, even though the
+        # chain is publicly valid (Section 5.4's central observation).
+        return cert, key
+
+    def chain_for(self, leaf, include_root=False):
+        chain = [leaf, self.intermediate]
+        if include_root:
+            chain.append(self._parent.root)
+        return chain
+
+
+class AuthorityEcosystem:
+    """All CAs, the major trust stores, and the CT logs of the world."""
+
+    def __init__(self, seed=2023, now=WORLD_EPOCH):
+        self.now = now
+        self.public = {}
+        self.private = {}
+        for name, validity, intermediates in PUBLIC_CAS:
+            rng = stable_rng(seed, "ca", name)
+            self.public[name] = CertificateAuthority(
+                name, is_public_trust=True,
+                policy=IssuancePolicy(validity_days=validity,
+                                      logs_to_ct=True),
+                rng=rng, now=now, root_validity_days=9125,
+                intermediate_names=intermediates)
+        for name, validity, intermediates in PRIVATE_CAS:
+            rng = stable_rng(seed, "ca", name)
+            self.private[name] = CertificateAuthority(
+                name, is_public_trust=False,
+                policy=IssuancePolicy(validity_days=validity,
+                                      logs_to_ct=False),
+                rng=rng, now=now, root_validity_days=40000,
+                intermediate_names=intermediates)
+        self.netflix_chained = ChainedPrivateIssuer(
+            NETFLIX_PUBLIC_CHAINED, "Netflix", self.public["VeriSign"],
+            now=now, rng=stable_rng(seed, "ca", "netflix-chained"),
+            validity_days=33)
+        mozilla, apple, microsoft = major_stores(self.public.values())
+        self.stores = {"mozilla": mozilla, "apple": apple,
+                       "microsoft": microsoft}
+        self.union_store = mozilla.union(apple, microsoft)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def issuer(self, name):
+        """Resolve an issuer org name to its CA object."""
+        if name == NETFLIX_PUBLIC_CHAINED:
+            return self.netflix_chained
+        if name in self.public:
+            return self.public[name]
+        if name in self.private:
+            return self.private[name]
+        raise KeyError(f"unknown issuer organization: {name!r}")
+
+    def is_public_trust(self, org_name):
+        """CCADB-style categorization of an issuer organization."""
+        return org_name in self.public
+
+    def aia_resolver(self):
+        """An AIA-chasing resolver over every intermediate in the world.
+
+        Models what a browser does with the Authority Information Access
+        extension: given a certificate whose issuer is missing from the
+        presented chain, fetch the issuing intermediate.  Roots are never
+        served over AIA.
+        """
+        by_subject = {}
+        for ca in list(self.public.values()) + list(self.private.values()):
+            for intermediate in ca.intermediates:
+                by_subject[str(intermediate.subject)] = intermediate
+        by_subject[str(self.netflix_chained.intermediate.subject)] =             self.netflix_chained.intermediate
+
+        def resolve(certificate):
+            return by_subject.get(str(certificate.issuer))
+
+        return resolve
+
+    def issuer_organizations(self):
+        """All 33 issuer org names (Netflix's chained CA folds into
+        the Netflix org, matching the paper's issuer attribution)."""
+        return sorted(set(self.public) | set(self.private))

@@ -1,0 +1,79 @@
+"""The server certificate dataset (paper Section 5.1, Table 6).
+
+Wraps the probe results with the joins the server-side analyses need:
+distinct leaf certificates, certificate↔FQDN and certificate↔IP sharing,
+issuer organizations, and per-vantage slices.
+"""
+
+from collections import defaultdict
+
+from repro.probing.vantage import PRIMARY_VANTAGE
+
+
+class CertificateDataset:
+    """Probe results indexed for analysis."""
+
+    def __init__(self, results, probed_at=None, network=None):
+        self.results = list(results)
+        self.probed_at = probed_at
+        self._by_vantage = defaultdict(dict)
+        for result in self.results:
+            self._by_vantage[result.vantage][result.fqdn] = result
+
+    # --- vantage slices -----------------------------------------------------------
+
+    def vantages(self):
+        return sorted(self._by_vantage)
+
+    def results_at(self, vantage=PRIMARY_VANTAGE.name):
+        """fqdn → ProbeResult for one vantage."""
+        return dict(self._by_vantage[vantage])
+
+    def result(self, fqdn, vantage=PRIMARY_VANTAGE.name):
+        return self._by_vantage[vantage].get(fqdn)
+
+    # --- headline counts (Table 6) ---------------------------------------------------
+
+    def reachable_fqdns(self, vantage=PRIMARY_VANTAGE.name):
+        return sorted(f for f, r in self._by_vantage[vantage].items()
+                      if r.reachable and r.leaf is not None)
+
+    def unreachable_fqdns(self, vantage=PRIMARY_VANTAGE.name):
+        return sorted(f for f, r in self._by_vantage[vantage].items()
+                      if not r.reachable)
+
+    def leaf_certificates(self, vantage=PRIMARY_VANTAGE.name):
+        """Distinct leaf certificates (by DER fingerprint)."""
+        leaves = {}
+        for result in self._by_vantage[vantage].values():
+            if result.leaf is not None:
+                leaves[result.leaf.fingerprint()] = result.leaf
+        return leaves
+
+    def issuer_organizations(self, vantage=PRIMARY_VANTAGE.name):
+        """Distinct issuer organizations across leaf certificates."""
+        return sorted({leaf.issuer.organization or leaf.issuer.common_name
+                       for leaf in self.leaf_certificates(vantage).values()})
+
+    # --- sharing (Section 5.1) ---------------------------------------------------------
+
+    def fqdns_by_leaf(self, vantage=PRIMARY_VANTAGE.name):
+        """leaf fingerprint → sorted FQDNs presenting that leaf."""
+        sharing = defaultdict(list)
+        for fqdn, result in sorted(self._by_vantage[vantage].items()):
+            if result.leaf is not None:
+                sharing[result.leaf.fingerprint()].append(fqdn)
+        return dict(sharing)
+
+    def ips_by_leaf(self, network, vantage=PRIMARY_VANTAGE.name):
+        """leaf fingerprint → set of IPs serving that leaf."""
+        sharing = defaultdict(set)
+        for fqdn, result in self._by_vantage[vantage].items():
+            if result.leaf is not None:
+                endpoint = network.endpoints.get(fqdn)
+                if endpoint is not None:
+                    sharing[result.leaf.fingerprint()].update(endpoint.ips)
+        return dict(sharing)
+
+    def __len__(self):
+        return len(self.results)

@@ -1,0 +1,109 @@
+"""The TLS prober that builds the certificate dataset.
+
+Mirrors the paper's methodology (Section 5.1): take the SNIs extracted
+from the ClientHello capture, open TLS connections to each from three
+global vantage points, and record the ServerHello and certificate chain.
+The prober is a real TLS client: it sends wire-encoded ClientHellos and
+parses the server's flight; unreachable hosts and failed handshakes are
+recorded as such.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.inspector.timeline import PROBE_TIME
+from repro.probing.certdataset import CertificateDataset
+from repro.probing.network import UnreachableError
+from repro.probing.vantage import VANTAGE_POINTS
+from repro.tlslib.ciphersuites import codes_by_names
+from repro.tlslib.clienthello import ClientHello
+from repro.tlslib.errors import TLSError
+from repro.tlslib.extensions import ExtensionType as Ext
+from repro.tlslib.handshake import TLSClient
+from repro.tlslib.versions import TLSVersion
+from repro.x509.certificate import Certificate
+
+#: The prober's own (modern, browser-like) ClientHello configuration.
+_PROBE_SUITES = tuple(codes_by_names([
+    "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+    "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+]))
+
+_PROBE_EXTENSIONS = (
+    int(Ext.SERVER_NAME),
+    int(Ext.SUPPORTED_GROUPS),
+    int(Ext.EC_POINT_FORMATS),
+    int(Ext.SIGNATURE_ALGORITHMS),
+    int(Ext.STATUS_REQUEST),
+)
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of probing one SNI from one vantage point."""
+
+    fqdn: str
+    vantage: str
+    reachable: bool
+    chain: list = field(default_factory=list)
+    negotiated_version: TLSVersion = None
+    negotiated_suite: int = None
+    error: str = None
+    ocsp_staple: bytes = None
+
+    @property
+    def stapled(self):
+        return self.ocsp_staple is not None
+
+    @property
+    def leaf(self):
+        return self.chain[0] if self.chain else None
+
+
+class Prober:
+    """Probes a :class:`~repro.probing.network.SimulatedNetwork`."""
+
+    def __init__(self, network, vantages=VANTAGE_POINTS):
+        self.network = network
+        self.vantages = tuple(vantages)
+        self._client = TLSClient()
+
+    def _hello(self, sni):
+        return ClientHello(version=TLSVersion.TLS_1_2,
+                           ciphersuites=list(_PROBE_SUITES),
+                           extensions=list(_PROBE_EXTENSIONS), sni=sni)
+
+    def probe_one(self, fqdn, vantage, at=PROBE_TIME):
+        """Probe a single SNI from one vantage point."""
+        hello = self._hello(fqdn)
+        try:
+            flight = self.network.connect(
+                fqdn, self._client.first_flight(hello),
+                region=vantage.region, at=at)
+            result = self._client.read_server_flight(hello, flight)
+        except UnreachableError as exc:
+            return ProbeResult(fqdn=fqdn, vantage=vantage.name,
+                               reachable=False, error=str(exc))
+        except TLSError as exc:
+            return ProbeResult(fqdn=fqdn, vantage=vantage.name,
+                               reachable=True, error=str(exc))
+        chain = [Certificate.from_der(der) for der in result.chain_der]
+        return ProbeResult(
+            fqdn=fqdn, vantage=vantage.name, reachable=True, chain=chain,
+            negotiated_version=result.negotiated_version,
+            negotiated_suite=result.server_hello.ciphersuite,
+            ocsp_staple=result.ocsp_staple)
+
+    def probe_all(self, snis, at=PROBE_TIME):
+        """Probe every SNI from every vantage; returns a
+        :class:`~repro.probing.certdataset.CertificateDataset`."""
+        results = []
+        for vantage in self.vantages:
+            for fqdn in snis:
+                results.append(self.probe_one(fqdn, vantage, at=at))
+        return CertificateDataset(results, probed_at=at)

@@ -1,0 +1,28 @@
+"""Probing vantage points.
+
+The paper probes every SNI from New York (US), Frankfurt (Europe), and
+Singapore (Asia) and cross-checks the returned certificates
+(Appendix C.4.1).  CDN-backed servers may serve per-region certificates;
+the rest answer identically everywhere.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One probing location."""
+
+    name: str
+    city: str
+    region: str  # matches the per-region certificate variants
+
+
+VANTAGE_POINTS = (
+    VantagePoint(name="new-york", city="New York, US", region="us"),
+    VantagePoint(name="frankfurt", city="Frankfurt, DE", region="eu"),
+    VantagePoint(name="singapore", city="Singapore, SG", region="asia"),
+)
+
+#: The vantage the paper uses for the main analysis (Section 5.1).
+PRIMARY_VANTAGE = VANTAGE_POINTS[0]

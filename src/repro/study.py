@@ -1,0 +1,78 @@
+"""One-stop study context: the world, its capture, and its probes.
+
+Building the world and probing 1,151 servers takes a few seconds; tests,
+benchmarks, and examples share a memoized :class:`Study` per seed instead
+of regenerating.
+"""
+
+from functools import lru_cache
+
+from repro.inspector.dataset import InspectorDataset
+from repro.inspector.generator import WorldGenerator
+from repro.libraries.corpus import build_default_corpus
+from repro.probing.network import SimulatedNetwork
+from repro.probing.prober import Prober
+from repro.x509.validation import ChainValidator
+
+DEFAULT_SEED = 2023
+
+
+class Study:
+    """Lazily-built handles to every artifact of one study run."""
+
+    def __init__(self, seed=DEFAULT_SEED):
+        self.seed = seed
+        self._world = None
+        self._dataset = None
+        self._corpus = None
+        self._network = None
+        self._certificates = None
+
+    @property
+    def world(self):
+        if self._world is None:
+            self._world = WorldGenerator(seed=self.seed).generate()
+        return self._world
+
+    @property
+    def dataset(self):
+        """The ClientHello capture (client-side analyses, Section 4)."""
+        if self._dataset is None:
+            self._dataset = InspectorDataset.from_world(self.world)
+        return self._dataset
+
+    @property
+    def corpus(self):
+        """The 6,891-entry known-library fingerprint corpus."""
+        if self._corpus is None:
+            self._corpus = build_default_corpus()
+        return self._corpus
+
+    @property
+    def network(self):
+        """The simulated Internet with issued certificates."""
+        if self._network is None:
+            self._network = SimulatedNetwork(self.world)
+        return self._network
+
+    @property
+    def ecosystem(self):
+        return self.network.ecosystem
+
+    @property
+    def certificates(self):
+        """The three-vantage certificate dataset (Section 5)."""
+        if self._certificates is None:
+            snis = [spec.fqdn for spec in self.world.servers]
+            self._certificates = Prober(self.network).probe_all(snis)
+        return self._certificates
+
+    def validator(self):
+        """A Zeek-style validator over the union of the major stores."""
+        return ChainValidator(self.ecosystem.union_store)
+
+
+@lru_cache(maxsize=4)
+def get_study(seed=DEFAULT_SEED):
+    """The memoized study context for a seed."""
+    return Study(seed=seed)

@@ -1,0 +1,54 @@
+"""TLS protocol substrate.
+
+This subpackage implements the slice of TLS needed by the paper's
+measurement pipeline:
+
+- an IANA-style ciphersuite registry with algorithm decomposition and the
+  paper's optimal/suboptimal/vulnerable security classification
+  (:mod:`repro.tlslib.ciphersuites`),
+- an extension-type registry (:mod:`repro.tlslib.extensions`),
+- protocol version constants (:mod:`repro.tlslib.versions`),
+- GREASE value handling per RFC 8701 (:mod:`repro.tlslib.grease`),
+- a ClientHello model with real wire encoding and parsing
+  (:mod:`repro.tlslib.clienthello`),
+- a minimal TLS record layer (:mod:`repro.tlslib.record`),
+- ServerHello / Certificate handshake messages
+  (:mod:`repro.tlslib.serverhello`),
+- client and server handshake state machines used by the simulated
+  Internet in :mod:`repro.probing` (:mod:`repro.tlslib.handshake`).
+"""
+
+from repro.tlslib.versions import TLSVersion
+from repro.tlslib.ciphersuites import (
+    CipherSuite,
+    SecurityLevel,
+    REGISTRY,
+    suite_by_code,
+    suite_by_name,
+    classify_suite,
+)
+from repro.tlslib.extensions import ExtensionType, EXTENSION_REGISTRY
+from repro.tlslib.grease import is_grease, GREASE_VALUES
+from repro.tlslib.clienthello import ClientHello
+from repro.tlslib.serverhello import ServerHello, CertificateMessage
+from repro.tlslib.errors import TLSError, TLSParseError, TLSHandshakeError
+
+__all__ = [
+    "TLSVersion",
+    "CipherSuite",
+    "SecurityLevel",
+    "REGISTRY",
+    "suite_by_code",
+    "suite_by_name",
+    "classify_suite",
+    "ExtensionType",
+    "EXTENSION_REGISTRY",
+    "is_grease",
+    "GREASE_VALUES",
+    "ClientHello",
+    "ServerHello",
+    "CertificateMessage",
+    "TLSError",
+    "TLSParseError",
+    "TLSHandshakeError",
+]

@@ -1,0 +1,92 @@
+"""TLS alert protocol (RFC 5246 section 7.2).
+
+Failed negotiations on the real Internet come back as alert records, not
+exceptions; the simulated network answers the same way so the prober
+exercises a real alert-parsing path (e.g. an SSL 3.0-only client hitting
+a modern server receives ``protocol_version``).
+"""
+
+import enum
+
+from repro.tlslib.errors import TLSParseError
+from repro.tlslib.record import ContentType, encode_records
+
+
+class AlertLevel(enum.IntEnum):
+    WARNING = 1
+    FATAL = 2
+
+
+class AlertDescription(enum.IntEnum):
+    """The alert codes the substrate emits or expects."""
+
+    CLOSE_NOTIFY = 0
+    UNEXPECTED_MESSAGE = 10
+    BAD_RECORD_MAC = 20
+    HANDSHAKE_FAILURE = 40
+    BAD_CERTIFICATE = 42
+    CERTIFICATE_EXPIRED = 45
+    UNKNOWN_CA = 48
+    ILLEGAL_PARAMETER = 47
+    DECODE_ERROR = 50
+    PROTOCOL_VERSION = 70
+    INTERNAL_ERROR = 80
+    UNRECOGNIZED_NAME = 112
+
+    @property
+    def snake_name(self):
+        return self.name.lower()
+
+    @classmethod
+    def from_snake_name(cls, name):
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            return cls.HANDSHAKE_FAILURE
+
+
+class Alert:
+    """A two-byte alert message."""
+
+    __slots__ = ("level", "description")
+
+    def __init__(self, level, description):
+        self.level = AlertLevel(level)
+        self.description = AlertDescription(description)
+
+    def to_bytes(self):
+        return bytes([self.level, self.description])
+
+    @classmethod
+    def from_bytes(cls, data):
+        if len(data) != 2:
+            raise TLSParseError("alert message must be exactly two bytes")
+        try:
+            return cls(data[0], data[1])
+        except ValueError as exc:
+            raise TLSParseError(f"unknown alert field: {exc}") from exc
+
+    def to_record_bytes(self, version):
+        """Encode as a full alert record."""
+        return encode_records(ContentType.ALERT, version, self.to_bytes())
+
+    @classmethod
+    def fatal(cls, description):
+        return cls(AlertLevel.FATAL, description)
+
+    def __eq__(self, other):
+        if not isinstance(other, Alert):
+            return NotImplemented
+        return (self.level, self.description) == \
+            (other.level, other.description)
+
+    def __repr__(self):
+        return f"Alert({self.level.name}, {self.description.snake_name})"
+
+
+def extract_alert(records):
+    """Return the first Alert among decoded records, or None."""
+    for record in records:
+        if record.content_type == ContentType.ALERT:
+            return Alert.from_bytes(record.payload)
+    return None

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the TLS substrate."""
+
+
+class TLSError(Exception):
+    """Base class for all TLS substrate errors."""
+
+
+class TLSParseError(TLSError):
+    """Raised when wire bytes cannot be parsed into a TLS structure."""
+
+
+class TLSHandshakeError(TLSError):
+    """Raised when a handshake cannot be completed.
+
+    Carries an ``alert`` description string mirroring TLS alert semantics
+    (e.g. ``"handshake_failure"``, ``"protocol_version"``).
+    """
+
+    def __init__(self, message, alert="handshake_failure"):
+        super().__init__(message)
+        self.alert = alert

@@ -1,0 +1,64 @@
+"""TLS extension-type registry.
+
+IoT Inspector records only the extension *types* present in a ClientHello
+(not their bodies), so the fingerprint uses the ordered list of extension
+type codes.  The paper's Appendix B.3.3/B.9/B.10 analyses specific
+extensions: ``server_name`` (SNI), ``status_request`` (OCSP),
+``session_ticket``, ``renegotiation_info``, ``padding``, ALPN/NPN, and
+GREASE.
+"""
+
+import enum
+
+from repro.tlslib.grease import is_grease
+
+
+class ExtensionType(enum.IntEnum):
+    """IANA TLS extension type codes used by the modelled libraries."""
+
+    SERVER_NAME = 0
+    MAX_FRAGMENT_LENGTH = 1
+    STATUS_REQUEST = 5
+    SUPPORTED_GROUPS = 10          # formerly elliptic_curves
+    EC_POINT_FORMATS = 11
+    SIGNATURE_ALGORITHMS = 13
+    USE_SRTP = 14
+    HEARTBEAT = 15
+    APPLICATION_LAYER_PROTOCOL_NEGOTIATION = 16
+    SIGNED_CERTIFICATE_TIMESTAMP = 18
+    PADDING = 21
+    ENCRYPT_THEN_MAC = 22
+    EXTENDED_MASTER_SECRET = 23
+    SESSION_TICKET = 35
+    PRE_SHARED_KEY = 41
+    EARLY_DATA = 42
+    SUPPORTED_VERSIONS = 43
+    COOKIE = 44
+    PSK_KEY_EXCHANGE_MODES = 45
+    KEY_SHARE = 51
+    NEXT_PROTOCOL_NEGOTIATION = 13172
+    RENEGOTIATION_INFO = 65281
+
+
+#: code → canonical lowercase name, as printed by the analysis tables.
+EXTENSION_REGISTRY = {ext.value: ext.name.lower() for ext in ExtensionType}
+
+#: Extensions the paper calls "application-specific" (Appendix B.3.3).
+APPLICATION_SPECIFIC_EXTENSIONS = frozenset({
+    ExtensionType.APPLICATION_LAYER_PROTOCOL_NEGOTIATION.value,
+    ExtensionType.NEXT_PROTOCOL_NEGOTIATION.value,
+})
+
+
+def extension_name(code):
+    """Return the canonical name for an extension code.
+
+    GREASE and unknown code points get synthetic names so that analyses and
+    rendered tables never fail on values outside the registry.
+    """
+    name = EXTENSION_REGISTRY.get(code)
+    if name is not None:
+        return name
+    if is_grease(code):
+        return f"grease_{code:04x}"
+    return f"unknown_{code:04x}"

@@ -1,0 +1,27 @@
+"""GREASE (RFC 8701) reserved values.
+
+GREASE reserves a set of ciphersuite and extension code points of the form
+``0xRaRa`` (where ``R`` is a nibble ``0..F`` and ``a`` is ``0xA``) that
+clients may advertise to keep peers honest about ignoring unknown values.
+The paper analyses GREASE usage in Appendix B.10: 501 devices GREASE their
+ciphersuite lists and 503 GREASE their extensions.
+"""
+
+#: The sixteen reserved GREASE code points, shared by the ciphersuite and
+#: extension registries.
+GREASE_VALUES = frozenset(0x0A0A + 0x1010 * i for i in range(16))
+
+
+def is_grease(code):
+    """Return True when ``code`` is one of the sixteen GREASE code points."""
+    return code in GREASE_VALUES
+
+
+def strip_grease(codes):
+    """Return ``codes`` with GREASE values removed, preserving order."""
+    return [code for code in codes if code not in GREASE_VALUES]
+
+
+def contains_grease(codes):
+    """Return True when any value in ``codes`` is a GREASE code point."""
+    return any(code in GREASE_VALUES for code in codes)

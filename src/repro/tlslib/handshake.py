@@ -1,0 +1,195 @@
+"""Client and server handshake state machines.
+
+These drive the simulated Internet in :mod:`repro.probing`: the client
+encodes a real ClientHello into records, the server parses it, negotiates a
+version and ciphersuite, and answers with ServerHello + Certificate records
+carrying DER certificate blobs.  Failures surface as
+:class:`~repro.tlslib.errors.TLSHandshakeError` with TLS-alert-style
+descriptions, which the prober records the way a scanner records refused
+handshakes.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.tlslib.ciphersuites import suite_by_code
+from repro.tlslib.clienthello import ClientHello
+from repro.tlslib.errors import TLSHandshakeError, TLSParseError
+from repro.tlslib.grease import is_grease
+from repro.tlslib.record import (
+    ContentType,
+    decode_records,
+    encode_records,
+    iter_handshake_messages,
+    reassemble_handshake,
+)
+from repro.tlslib.serverhello import CertificateMessage, ServerHello
+from repro.tlslib.versions import TLSVersion
+
+
+@dataclass
+class ServerConfig:
+    """Configuration of a simulated TLS endpoint.
+
+    Attributes:
+        supported_versions: versions the server accepts.
+        supported_suites: suite codes the server can negotiate.
+        chain_provider: callable ``sni -> list[bytes]`` returning the DER
+            chain (leaf first) to present for a given SNI; servers with a
+            single certificate may ignore the argument.
+        prefer_client_order: when True (the common default the paper's
+            Appendix B.7 leans on) the server picks the first *client*
+            suite it supports; otherwise the first *server* suite the
+            client offers.
+        staple_provider: optional callable ``sni -> bytes or None``
+            returning a serialized OCSP response to staple when the
+            client's ClientHello carries ``status_request`` (RFC 6066;
+            Appendix B.9's server side).
+    """
+
+    supported_versions: frozenset
+    supported_suites: tuple
+    chain_provider: object
+    prefer_client_order: bool = True
+    staple_provider: object = None
+
+    def negotiate_version(self, client_version):
+        """Pick the highest mutually supported version ≤ the client's offer."""
+        candidates = [v for v in self.supported_versions if v <= client_version]
+        if not candidates:
+            raise TLSHandshakeError(
+                f"no common protocol version for client offer "
+                f"{TLSVersion(client_version).pretty}",
+                alert="protocol_version",
+            )
+        return max(candidates)
+
+    def negotiate_suite(self, client_suites):
+        """Pick a mutually supported, non-signaling ciphersuite."""
+        usable = [
+            code for code in client_suites
+            if not is_grease(code) and not suite_by_code(code).is_signaling
+        ]
+        supported = set(self.supported_suites)
+        if self.prefer_client_order:
+            for code in usable:
+                if code in supported:
+                    return code
+        else:
+            offered = set(usable)
+            for code in self.supported_suites:
+                if code in offered:
+                    return code
+        raise TLSHandshakeError("no common ciphersuite", alert="handshake_failure")
+
+
+#: Handshake message type of CertificateStatus (RFC 6066).
+_HANDSHAKE_CERTIFICATE_STATUS = 0x16
+
+
+@dataclass
+class HandshakeResult:
+    """Outcome of a successful client handshake."""
+
+    client_hello: ClientHello
+    server_hello: ServerHello
+    chain_der: list = field(default_factory=list)
+    ocsp_staple: bytes = None
+
+    @property
+    def negotiated_version(self):
+        return self.server_hello.version
+
+    @property
+    def negotiated_suite(self):
+        return suite_by_code(self.server_hello.ciphersuite)
+
+
+class TLSServer:
+    """Parses ClientHello records and produces the server's first flight."""
+
+    def __init__(self, config):
+        self.config = config
+
+    def handle(self, wire_bytes):
+        """Process a client flight; return ServerHello+Certificate records.
+
+        Raises :class:`TLSHandshakeError` on negotiation failure and
+        :class:`TLSParseError` on malformed input.
+        """
+        records = decode_records(wire_bytes)
+        handshake = reassemble_handshake(records)
+        hello = None
+        for msg_type, _body, full in iter_handshake_messages(handshake):
+            if msg_type == 0x01:
+                hello = ClientHello.from_bytes(full)
+                break
+        if hello is None:
+            raise TLSParseError("client flight contains no ClientHello")
+        version = self.config.negotiate_version(hello.version)
+        suite = self.config.negotiate_suite(hello.ciphersuites)
+        chain = list(self.config.chain_provider(hello.sni))
+        server_hello = ServerHello(version=version, ciphersuite=suite)
+        payload = server_hello.to_bytes() + CertificateMessage(chain).to_bytes()
+        from repro.tlslib.extensions import ExtensionType
+        if (self.config.staple_provider is not None
+                and int(ExtensionType.STATUS_REQUEST) in hello.extensions):
+            staple = self.config.staple_provider(hello.sni)
+            if staple:
+                payload += bytes([_HANDSHAKE_CERTIFICATE_STATUS]) \
+                    + len(staple).to_bytes(3, "big") + staple
+        return encode_records(ContentType.HANDSHAKE, version, payload)
+
+
+class TLSClient:
+    """Builds client flights and interprets server flights."""
+
+    def first_flight(self, client_hello):
+        """Encode ``client_hello`` into record-layer bytes."""
+        # The record-layer version of an initial flight is pinned to TLS 1.0
+        # by many stacks for middlebox tolerance; SSL 3.0 clients use 3.0.
+        record_version = min(client_hello.version, TLSVersion.TLS_1_0)
+        return encode_records(ContentType.HANDSHAKE, record_version,
+                              client_hello.to_bytes())
+
+    def handshake(self, client_hello, server):
+        """Run a full first round-trip against ``server``.
+
+        Returns a :class:`HandshakeResult`; negotiation failures propagate
+        as :class:`TLSHandshakeError`.
+        """
+        response = server.handle(self.first_flight(client_hello))
+        return self.read_server_flight(client_hello, response)
+
+    def read_server_flight(self, client_hello, wire_bytes):
+        """Parse a ServerHello(+Certificate) flight into a result.
+
+        A fatal alert record raises :class:`TLSHandshakeError` carrying
+        the alert description, mirroring what a real client library
+        reports.
+        """
+        from repro.tlslib.alerts import extract_alert
+        records = decode_records(wire_bytes)
+        alert = extract_alert(records)
+        if alert is not None:
+            raise TLSHandshakeError(
+                f"server sent alert: {alert.description.snake_name}",
+                alert=alert.description.snake_name)
+        handshake = reassemble_handshake(records)
+        server_hello, chain, staple = None, [], None
+        for msg_type, body, full in iter_handshake_messages(handshake):
+            if msg_type == 0x02:
+                server_hello = ServerHello.from_bytes(full)
+            elif msg_type == 0x0B:
+                chain = CertificateMessage.from_bytes(full).chain_der
+            elif msg_type == _HANDSHAKE_CERTIFICATE_STATUS:
+                staple = body
+        if server_hello is None:
+            raise TLSHandshakeError("server flight missing ServerHello")
+        if server_hello.ciphersuite not in client_hello.ciphersuites:
+            raise TLSHandshakeError(
+                "server selected a suite the client did not offer",
+                alert="illegal_parameter",
+            )
+        return HandshakeResult(client_hello=client_hello,
+                               server_hello=server_hello, chain_der=chain,
+                               ocsp_staple=staple)

@@ -1,0 +1,87 @@
+"""JA3-style TLS client fingerprint hashing.
+
+The paper fingerprints clients with the raw 3-tuple
+``{ciphersuites, extensions, TLS version}`` because IoT Inspector does
+not keep full ClientHello payloads.  The wider ecosystem standardizes on
+JA3: an MD5 over ``version,ciphers,extensions,curves,point-formats``
+with GREASE stripped.  This module implements both:
+
+- :func:`ja3_string` / :func:`ja3_hash` — the canonical JA3 computed from
+  a parsed :class:`~repro.tlslib.clienthello.ClientHello` (curves and
+  point formats are empty when only extension *types* are known, exactly
+  how JA3 degrades on truncated captures);
+- :func:`ja3_from_record` — the reduced JA3 of an IoT Inspector-style
+  record;
+- :func:`compare_corpora` — utility showing how many of the study's
+  3-tuple fingerprints collide once reduced to JA3 (an ablation the
+  benchmarks report).
+
+JA3 deliberately hashes *sorted-less* (order-preserving) lists, so it
+distinguishes reordered preference lists just like the paper's tuples.
+"""
+
+import hashlib
+
+from repro.tlslib.grease import strip_grease
+
+
+def _dash_join(values):
+    return "-".join(str(value) for value in values)
+
+
+def ja3_string(version, ciphersuites, extensions, curves=(),
+               point_formats=()):
+    """The canonical JA3 input string (GREASE values stripped)."""
+    return ",".join([
+        str(int(version)),
+        _dash_join(strip_grease(ciphersuites)),
+        _dash_join(strip_grease(extensions)),
+        _dash_join(curves),
+        _dash_join(point_formats),
+    ])
+
+
+def ja3_hash(version, ciphersuites, extensions, curves=(),
+             point_formats=()):
+    """MD5 hex digest of the JA3 string."""
+    text = ja3_string(version, ciphersuites, extensions, curves,
+                      point_formats)
+    return hashlib.md5(text.encode("ascii")).hexdigest()
+
+
+def ja3_from_hello(hello):
+    """JA3 of a parsed ClientHello (no curve bodies → empty fields)."""
+    return ja3_hash(hello.version, hello.ciphersuites, hello.extensions)
+
+
+def ja3_from_record(record):
+    """JA3 of an IoT Inspector-style ClientHello record."""
+    return ja3_hash(record.tls_version, record.ciphersuites,
+                    record.extensions)
+
+
+def dataset_ja3_index(dataset):
+    """JA3 hash → set of 3-tuple fingerprints that reduce to it.
+
+    Because JA3 strips GREASE, distinct 3-tuple fingerprints that differ
+    only in GREASE values collapse onto one JA3 — quantifying how much
+    randomized GREASE inflates the raw fingerprint count.
+    """
+    index = {}
+    for fp in dataset.fingerprints():
+        version, suites, extensions = fp
+        digest = ja3_hash(version, suites, extensions)
+        index.setdefault(digest, set()).add(fp)
+    return index
+
+
+def compare_corpora(dataset):
+    """Summary of the 3-tuple → JA3 reduction over a dataset."""
+    index = dataset_ja3_index(dataset)
+    collapsed = sum(1 for fps in index.values() if len(fps) > 1)
+    return {
+        "tuple_fingerprints": dataset.fingerprint_count,
+        "ja3_fingerprints": len(index),
+        "ja3_with_multiple_tuples": collapsed,
+        "reduction": 1 - len(index) / max(1, dataset.fingerprint_count),
+    }

@@ -1,0 +1,99 @@
+"""Minimal TLS record layer (RFC 5246 section 6.2.1).
+
+Handshake messages travel inside records of content type 22.  The simulated
+Internet frames every handshake flight this way, so that parsing mirrors a
+real capture: ``record bytes -> handshake bytes -> message model``.
+"""
+
+import enum
+import struct
+
+from repro.tlslib.errors import TLSParseError
+from repro.tlslib.versions import TLSVersion
+
+#: Maximum plaintext fragment length allowed by the RFC.
+MAX_FRAGMENT_LENGTH = 2 ** 14
+
+
+class ContentType(enum.IntEnum):
+    CHANGE_CIPHER_SPEC = 20
+    ALERT = 21
+    HANDSHAKE = 22
+    APPLICATION_DATA = 23
+
+
+class Record:
+    """A single TLS record: content type, legacy version, payload."""
+
+    __slots__ = ("content_type", "version", "payload")
+
+    def __init__(self, content_type, version, payload):
+        if len(payload) > MAX_FRAGMENT_LENGTH:
+            raise ValueError("record payload exceeds maximum fragment length")
+        self.content_type = ContentType(content_type)
+        self.version = TLSVersion(version)
+        self.payload = bytes(payload)
+
+    def to_bytes(self):
+        header = struct.pack(">BHH", self.content_type, int(self.version),
+                             len(self.payload))
+        return header + self.payload
+
+    def __eq__(self, other):
+        if not isinstance(other, Record):
+            return NotImplemented
+        return (self.content_type == other.content_type
+                and self.version == other.version
+                and self.payload == other.payload)
+
+    def __repr__(self):
+        return (f"Record(type={self.content_type.name}, "
+                f"version={self.version.pretty}, len={len(self.payload)})")
+
+
+def encode_records(content_type, version, payload):
+    """Fragment ``payload`` into records and return the full wire bytes."""
+    out = bytearray()
+    for offset in range(0, len(payload) or 1, MAX_FRAGMENT_LENGTH):
+        fragment = payload[offset:offset + MAX_FRAGMENT_LENGTH]
+        out += Record(content_type, version, fragment).to_bytes()
+    return bytes(out)
+
+
+def decode_records(data):
+    """Parse concatenated records, returning a list of :class:`Record`."""
+    records, offset = [], 0
+    while offset < len(data):
+        if len(data) - offset < 5:
+            raise TLSParseError("truncated record header")
+        content_type, version, length = struct.unpack_from(">BHH", data, offset)
+        offset += 5
+        if len(data) - offset < length:
+            raise TLSParseError("truncated record payload")
+        try:
+            records.append(Record(content_type, version, data[offset:offset + length]))
+        except ValueError as exc:
+            raise TLSParseError(str(exc)) from exc
+        offset += length
+    return records
+
+
+def reassemble_handshake(records):
+    """Concatenate the payloads of handshake records, in order."""
+    chunks = [r.payload for r in records if r.content_type == ContentType.HANDSHAKE]
+    return b"".join(chunks)
+
+
+def iter_handshake_messages(data):
+    """Yield ``(msg_type, body_bytes, full_message_bytes)`` from a handshake stream."""
+    offset = 0
+    while offset < len(data):
+        if len(data) - offset < 4:
+            raise TLSParseError("truncated handshake header")
+        msg_type = data[offset]
+        length = int.from_bytes(data[offset + 1:offset + 4], "big")
+        end = offset + 4 + length
+        if end > len(data):
+            raise TLSParseError("truncated handshake body")
+        yield msg_type, data[offset + 4:end], data[offset:end]
+        offset = end

@@ -1,0 +1,108 @@
+"""ServerHello and Certificate handshake messages.
+
+The probing substrate needs the server's side of the handshake: the chosen
+version and ciphersuite, and the certificate chain delivered as a list of
+DER blobs (RFC 5246 section 7.4.2 framing).
+"""
+
+import os
+import struct
+from dataclasses import dataclass, field
+
+from repro.tlslib.errors import TLSParseError
+from repro.tlslib.versions import TLSVersion
+
+_HANDSHAKE_SERVER_HELLO = 0x02
+_HANDSHAKE_CERTIFICATE = 0x0B
+
+
+def _encode_vector(payload, length_bytes):
+    return len(payload).to_bytes(length_bytes, "big") + payload
+
+
+@dataclass
+class ServerHello:
+    """A TLS ServerHello: negotiated version, chosen suite, server random."""
+
+    version: TLSVersion
+    ciphersuite: int
+    random: bytes = None
+    session_id: bytes = b""
+
+    def __post_init__(self):
+        if self.random is None:
+            self.random = os.urandom(32)
+        if len(self.random) != 32:
+            raise ValueError("server random must be exactly 32 bytes")
+
+    def to_bytes(self):
+        body = struct.pack(">H", int(self.version))
+        body += self.random
+        body += _encode_vector(self.session_id, 1)
+        body += struct.pack(">H", self.ciphersuite)
+        body += b"\x00"  # null compression
+        return bytes([_HANDSHAKE_SERVER_HELLO]) + len(body).to_bytes(3, "big") + body
+
+    @classmethod
+    def from_bytes(cls, data):
+        if not data or data[0] != _HANDSHAKE_SERVER_HELLO:
+            raise TLSParseError("not a ServerHello handshake message")
+        length = int.from_bytes(data[1:4], "big")
+        body = data[4:4 + length]
+        if len(body) < length:
+            raise TLSParseError("truncated ServerHello body")
+        offset = 0
+        try:
+            version = TLSVersion(int.from_bytes(body[offset:offset + 2], "big"))
+        except ValueError as exc:
+            raise TLSParseError(f"unknown server version: {exc}") from exc
+        offset += 2
+        random = body[offset:offset + 32]
+        if len(random) != 32:
+            raise TLSParseError("truncated server random")
+        offset += 32
+        sid_len = body[offset]
+        offset += 1
+        session_id = body[offset:offset + sid_len]
+        offset += sid_len
+        if len(body) < offset + 2:
+            raise TLSParseError("truncated ciphersuite")
+        suite = int.from_bytes(body[offset:offset + 2], "big")
+        return cls(version=version, ciphersuite=suite, random=random,
+                   session_id=session_id)
+
+
+@dataclass
+class CertificateMessage:
+    """A TLS Certificate message carrying the server chain, leaf first."""
+
+    chain_der: list = field(default_factory=list)
+
+    def to_bytes(self):
+        entries = b"".join(_encode_vector(der, 3) for der in self.chain_der)
+        body = _encode_vector(entries, 3)
+        return bytes([_HANDSHAKE_CERTIFICATE]) + len(body).to_bytes(3, "big") + body
+
+    @classmethod
+    def from_bytes(cls, data):
+        if not data or data[0] != _HANDSHAKE_CERTIFICATE:
+            raise TLSParseError("not a Certificate handshake message")
+        length = int.from_bytes(data[1:4], "big")
+        body = data[4:4 + length]
+        if len(body) < length or length < 3:
+            raise TLSParseError("truncated Certificate body")
+        total = int.from_bytes(body[0:3], "big")
+        blob = body[3:3 + total]
+        if len(blob) < total:
+            raise TLSParseError("truncated certificate list")
+        chain, offset = [], 0
+        while offset < len(blob):
+            if len(blob) - offset < 3:
+                raise TLSParseError("truncated certificate entry header")
+            entry_len = int.from_bytes(blob[offset:offset + 3], "big")
+            offset += 3
+            if len(blob) - offset < entry_len:
+                raise TLSParseError("truncated certificate entry")
+            chain.append(blob[offset:offset + entry_len])
+            offset += entry_len
+        return cls(chain_der=chain)

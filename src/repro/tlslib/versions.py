@@ -1,0 +1,56 @@
+"""TLS protocol version constants.
+
+Versions are identified on the wire by a two-byte ``(major, minor)`` pair.
+The paper reports client-proposed versions in Table 12 (SSL 3.0 through
+TLS 1.2; no TLS 1.3 observed in the capture window).
+"""
+
+import enum
+
+
+class TLSVersion(enum.IntEnum):
+    """Protocol versions, valued by their wire encoding ``major << 8 | minor``."""
+
+    SSL_3_0 = 0x0300
+    TLS_1_0 = 0x0301
+    TLS_1_1 = 0x0302
+    TLS_1_2 = 0x0303
+    TLS_1_3 = 0x0304
+
+    @property
+    def major(self):
+        return self >> 8
+
+    @property
+    def minor(self):
+        return self & 0xFF
+
+    @property
+    def pretty(self):
+        """Human-readable name, as used in the paper's tables."""
+        return _PRETTY[self]
+
+    @classmethod
+    def from_wire(cls, value):
+        """Return the version for a wire value, raising ``ValueError`` if unknown."""
+        return cls(value)
+
+    @classmethod
+    def from_pretty(cls, text):
+        """Parse names like ``"TLS 1.2"`` or ``"SSL 3.0"``."""
+        for version, name in _PRETTY.items():
+            if name == text:
+                return version
+        raise ValueError(f"unknown TLS version name: {text!r}")
+
+
+_PRETTY = {
+    TLSVersion.SSL_3_0: "SSL 3.0",
+    TLSVersion.TLS_1_0: "TLS 1.0",
+    TLSVersion.TLS_1_1: "TLS 1.1",
+    TLSVersion.TLS_1_2: "TLS 1.2",
+    TLSVersion.TLS_1_3: "TLS 1.3",
+}
+
+#: Versions deprecated by the IETF as of the paper's capture window.
+DEPRECATED_VERSIONS = frozenset({TLSVersion.SSL_3_0, TLSVersion.TLS_1_0, TLSVersion.TLS_1_1})

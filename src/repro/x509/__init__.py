@@ -1,0 +1,47 @@
+"""X.509 / PKI substrate.
+
+Implements the slice of the PKI that the paper's server-side analysis
+(Section 5) depends on:
+
+- DER encoding/decoding (:mod:`repro.x509.asn1`),
+- RSA key generation and signing with reduced key sizes
+  (:mod:`repro.x509.keys`),
+- distinguished names and RFC 6125-style host matching
+  (:mod:`repro.x509.names`),
+- the certificate model with DER serialization
+  (:mod:`repro.x509.certificate`),
+- certificate authorities, public-trust and private
+  (:mod:`repro.x509.ca`),
+- trust stores modelled on the Mozilla/Apple/Microsoft root programs
+  (:mod:`repro.x509.truststore`),
+- chain building (:mod:`repro.x509.chain`) and Zeek-style validation
+  (:mod:`repro.x509.validation`),
+- an RFC 6962-style Certificate Transparency log with Merkle inclusion
+  proofs (:mod:`repro.x509.ct`).
+"""
+
+from repro.x509.certificate import Certificate, DistinguishedName
+from repro.x509.keys import RSAKeyPair, generate_keypair
+from repro.x509.ca import CertificateAuthority, IssuancePolicy
+from repro.x509.truststore import TrustStore
+from repro.x509.validation import ChainStatus, ChainValidator, ValidationReport
+from repro.x509.ct import CTLog, CTLogSet
+from repro.x509.errors import X509Error, DERDecodeError, SignatureError
+
+__all__ = [
+    "Certificate",
+    "DistinguishedName",
+    "RSAKeyPair",
+    "generate_keypair",
+    "CertificateAuthority",
+    "IssuancePolicy",
+    "TrustStore",
+    "ChainStatus",
+    "ChainValidator",
+    "ValidationReport",
+    "CTLog",
+    "CTLogSet",
+    "X509Error",
+    "DERDecodeError",
+    "SignatureError",
+]

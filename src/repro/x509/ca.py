@@ -1,0 +1,168 @@
+"""Certificate authorities: public-trust and private (vendor) CAs.
+
+Section 5.2 of the paper divides leaf-certificate issuers into *public
+trust CAs* (root present in major trust stores) and *private CAs* (sign
+only their own domains, root absent from trust stores).  A
+:class:`CertificateAuthority` models either kind: it owns a self-signed
+root, optionally a chain of intermediates, an :class:`IssuancePolicy`
+(validity period, CT logging behaviour), and issues leaf certificates.
+"""
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.x509.certificate import sign_certificate
+from repro.x509.errors import IssuanceError
+from repro.x509.keys import generate_keypair
+from repro.x509.names import DistinguishedName
+
+_SECONDS_PER_DAY = 86400
+
+
+@dataclass(frozen=True)
+class IssuancePolicy:
+    """How a CA issues leaf certificates.
+
+    Attributes:
+        validity_days: leaf validity period.  Public CAs in the study stay
+            under ~1,000 days; private vendor CAs range up to 36,500 days
+            (Tuya) — the paper's central server-side finding.
+        logs_to_ct: whether issued leafs are submitted to CT.  Enforced for
+            public CAs by browser CT policies; never done by the private
+            CAs in the study.
+        include_san: whether the SAN extension is populated (the
+            ``a2.tuyaus.com`` mismatch comes from a vendor CA omitting the
+            host from both CN and SAN).
+    """
+
+    validity_days: float = 398
+    logs_to_ct: bool = True
+    include_san: bool = True
+
+
+class CertificateAuthority:
+    """A CA with a self-signed root, optional intermediates, and a policy."""
+
+    def __init__(self, name, *, is_public_trust, policy=None, rng=None,
+                 key_bits=512, root_validity_days=7300, country="US",
+                 intermediate_names=(), now=0):
+        self.name = name
+        self.is_public_trust = is_public_trust
+        self.policy = policy or IssuancePolicy()
+        self._rng = rng or random.Random()
+        self._key_bits = key_bits
+        self._serials = itertools.count(self._rng.getrandbits(40) or 1)
+        self._root_key = generate_keypair(key_bits, rng=self._rng)
+        root_subject = DistinguishedName(
+            common_name=f"{name} Root CA", organization=name, country=country)
+        self.root = sign_certificate(
+            serial=next(self._serials), subject=root_subject,
+            issuer=root_subject, issuer_keypair=self._root_key,
+            not_before=now, not_after=now + root_validity_days * _SECONDS_PER_DAY,
+            public_key=self._root_key.public, is_ca=True)
+        # Intermediates are kept as (certificate, keypair) pairs; leafs are
+        # signed by the last intermediate when any exist.
+        self._intermediates = []
+        for intermediate_name in intermediate_names:
+            self.add_intermediate(intermediate_name, now=now,
+                                  validity_days=root_validity_days)
+
+    # --- structure ------------------------------------------------------------
+
+    @property
+    def intermediates(self):
+        """Intermediate certificates, root-adjacent first."""
+        return [cert for cert, _key in self._intermediates]
+
+    @property
+    def signing_key(self):
+        """Keypair that signs leaf certificates."""
+        if self._intermediates:
+            return self._intermediates[-1][1]
+        return self._root_key
+
+    @property
+    def signing_subject(self):
+        """Name that appears as the issuer of leaf certificates."""
+        if self._intermediates:
+            return self._intermediates[-1][0].subject
+        return self.root.subject
+
+    def add_intermediate(self, common_name, *, now, validity_days=5475):
+        """Create and chain a new intermediate under the current signer."""
+        key = generate_keypair(self._key_bits, rng=self._rng)
+        subject = DistinguishedName(common_name=common_name,
+                                    organization=self.name)
+        cert = sign_certificate(
+            serial=next(self._serials), subject=subject,
+            issuer=self.signing_subject, issuer_keypair=self.signing_key,
+            not_before=now, not_after=now + validity_days * _SECONDS_PER_DAY,
+            public_key=key.public, is_ca=True)
+        self._intermediates.append((cert, key))
+        return cert
+
+    # --- issuance ---------------------------------------------------------------
+
+    def issue_leaf(self, common_name, *, now, san_dns_names=None,
+                   validity_days=None, subject_key=None, subject_organization=None,
+                   omit_names=False, ct_logs=None):
+        """Issue a leaf certificate.
+
+        Args:
+            common_name: subject CN (usually the FQDN or a wildcard).
+            now: issuance time (POSIX seconds) — becomes ``not_before``.
+            san_dns_names: DNS names for the SAN; defaults to ``[common_name]``
+                when the policy includes SANs.
+            validity_days: override the policy validity period.
+            subject_key: reuse an existing keypair (certificate sharing across
+                servers, Section 5.1); a fresh key is generated when omitted.
+            omit_names: misissuance knob — produce a certificate whose CN/SAN
+                do not include the intended host (the Tuya case).
+            ct_logs: a :class:`~repro.x509.ct.CTLogSet`; when provided and
+                the policy logs to CT, the leaf is submitted.
+
+        Returns ``(certificate, keypair)``.
+        """
+        if validity_days is None:
+            validity_days = self.policy.validity_days
+        if validity_days <= 0:
+            raise IssuanceError("validity period must be positive")
+        key = subject_key or generate_keypair(self._key_bits, rng=self._rng)
+        if omit_names:
+            subject_cn, san = f"misissued.{self.name.lower().replace(' ', '-')}.invalid", ()
+        else:
+            subject_cn = common_name
+            if san_dns_names is not None:
+                san = tuple(san_dns_names)
+            elif self.policy.include_san:
+                san = (common_name,)
+            else:
+                san = ()
+        subject = DistinguishedName(common_name=subject_cn,
+                                    organization=subject_organization)
+        cert = sign_certificate(
+            serial=next(self._serials), subject=subject,
+            issuer=self.signing_subject, issuer_keypair=self.signing_key,
+            not_before=now,
+            not_after=now + int(validity_days * _SECONDS_PER_DAY),
+            public_key=key.public, san_dns_names=san, is_ca=False)
+        if ct_logs is not None and self.policy.logs_to_ct:
+            ct_logs.submit(cert)
+        return cert, key
+
+    def chain_for(self, leaf, include_root=False):
+        """Assemble the presented chain for ``leaf`` (leaf first).
+
+        Real servers frequently omit the root (RFC 5246 permits it); some
+        misconfigured ones omit intermediates too — callers model that by
+        slicing the returned list.
+        """
+        chain = [leaf] + list(reversed(self.intermediates))
+        if include_root:
+            chain.append(self.root)
+        return chain
+
+    def __repr__(self):
+        kind = "public-trust" if self.is_public_trust else "private"
+        return f"CertificateAuthority({self.name!r}, {kind})"

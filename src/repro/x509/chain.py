@@ -1,0 +1,122 @@
+"""Certificate path building.
+
+Given the chain a server *presented* (leaf first, possibly incomplete or
+out of order) and a trust store, :func:`build_path` reconstructs the
+verification path the way Zeek/OpenSSL do: follow issuer links by name,
+confirm each link cryptographically, and terminate either at a self-signed
+certificate or at a trust-store root.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Path:
+    """Result of path building.
+
+    Attributes:
+        certificates: the ordered path, leaf first.  When the anchor came
+            from the trust store it is appended even though the server did
+            not present it.
+        anchor_in_store: True when the topmost certificate is a trust-store
+            member.
+        complete: True when the path terminates at a self-signed
+            certificate (trusted or not); False when an issuer was missing
+            from both the presented chain and the store.
+        broken_link_at: index of the certificate whose issuer's signature
+            check failed, or None.
+    """
+
+    certificates: list = field(default_factory=list)
+    anchor_in_store: bool = False
+    complete: bool = False
+    broken_link_at: int = None
+
+    @property
+    def leaf(self):
+        return self.certificates[0]
+
+    @property
+    def anchor(self):
+        return self.certificates[-1]
+
+    def __len__(self):
+        return len(self.certificates)
+
+
+def _find_presented_issuer(certificate, candidates):
+    """Find the presented certificate that signed ``certificate``.
+
+    Name match is required; among name matches, a certificate whose key
+    actually verifies the signature is preferred, but a name-only match is
+    still returned (with ``verified=False``) so broken links are observable
+    rather than reported as missing issuers.
+    """
+    name_matches = [c for c in candidates
+                    if str(c.subject) == str(certificate.issuer)]
+    for candidate in name_matches:
+        if candidate.public_key.verifies(certificate.tbs_der,
+                                         certificate.signature):
+            return candidate, True
+    if name_matches:
+        return name_matches[0], False
+    return None, False
+
+
+def build_path(presented, store, max_depth=8, intermediate_resolver=None):
+    """Build a verification path from ``presented`` certificates.
+
+    Args:
+        presented: server-presented certificates, leaf first (order of the
+            rest does not matter — real servers scramble it).
+        store: a :class:`~repro.x509.truststore.TrustStore` (usually the
+            union of the major stores).
+        max_depth: loop guard for pathological chains.
+        intermediate_resolver: optional callable ``certificate -> issuer
+            certificate or None`` modelling AIA chasing (fetching the
+            missing intermediate from the URL in the Authority Information
+            Access extension).  Zeek/OpenSSL do *not* chase AIA — which is
+            why the paper's Table 7 chains fail — but browsers do; the
+            ablation benchmark quantifies the difference.
+
+    Returns a :class:`Path`.
+    """
+    if not presented:
+        raise ValueError("cannot build a path from an empty chain")
+    leaf = presented[0]
+    pool = list(presented[1:])
+    path = Path(certificates=[leaf])
+    current = leaf
+    for depth in range(max_depth):
+        if current.is_self_issued:
+            # Terminal certificate: path is complete; check trust and
+            # self-signature integrity.
+            path.complete = True
+            path.anchor_in_store = store.contains(current)
+            if not current.public_key.verifies(current.tbs_der,
+                                               current.signature):
+                path.broken_link_at = len(path.certificates) - 1
+            return path
+        trusted_issuer = store.find_issuer(current)
+        if trusted_issuer is not None and not any(
+                c.fingerprint() == trusted_issuer.fingerprint()
+                for c in path.certificates):
+            path.certificates.append(trusted_issuer)
+            path.complete = True
+            path.anchor_in_store = True
+            return path
+        issuer, verified = _find_presented_issuer(current, pool)
+        if issuer is None and intermediate_resolver is not None:
+            fetched = intermediate_resolver(current)
+            if fetched is not None and fetched.public_key.verifies(
+                    current.tbs_der, current.signature):
+                issuer, verified = fetched, True
+        if issuer is None:
+            # Issuer neither presented nor in the store: incomplete chain.
+            return path
+        if not verified and path.broken_link_at is None:
+            path.broken_link_at = len(path.certificates) - 1
+        path.certificates.append(issuer)
+        pool = [c for c in pool if c.fingerprint() != issuer.fingerprint()]
+        current = issuer
+    return path

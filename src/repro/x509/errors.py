@@ -1,0 +1,17 @@
+"""Exception hierarchy for the PKI substrate."""
+
+
+class X509Error(Exception):
+    """Base class for all PKI substrate errors."""
+
+
+class DERDecodeError(X509Error):
+    """Raised when bytes cannot be decoded as valid DER."""
+
+
+class SignatureError(X509Error):
+    """Raised when a signature fails verification."""
+
+
+class IssuanceError(X509Error):
+    """Raised when a CA refuses to issue a certificate."""

@@ -1,0 +1,68 @@
+"""Trust stores modelled on the major root programs.
+
+The paper validates chains against the Mozilla store (Zeek's default)
+supplemented with the Apple and Microsoft stores.  A :class:`TrustStore`
+holds trusted root certificates indexed by subject and by key fingerprint;
+:func:`major_stores` builds the three-store ensemble for a given population
+of public-trust CAs (each store may miss a few roots, as the real programs
+do, which is why the paper unions them).
+"""
+
+
+class TrustStore:
+    """A named collection of trusted root certificates."""
+
+    def __init__(self, name, roots=()):
+        self.name = name
+        self._by_fingerprint = {}
+        self._by_subject = {}
+        for root in roots:
+            self.add(root)
+
+    def add(self, root):
+        if not root.is_ca:
+            raise ValueError("only CA certificates belong in a trust store")
+        self._by_fingerprint[root.fingerprint()] = root
+        self._by_subject.setdefault(str(root.subject), []).append(root)
+
+    def __len__(self):
+        return len(self._by_fingerprint)
+
+    def __iter__(self):
+        return iter(self._by_fingerprint.values())
+
+    def contains(self, certificate):
+        """Exact membership by DER fingerprint."""
+        return certificate.fingerprint() in self._by_fingerprint
+
+    def find_issuer(self, certificate):
+        """Return a trusted root whose subject matches ``certificate``'s
+        issuer and whose key verifies its signature, else None."""
+        for candidate in self._by_subject.get(str(certificate.issuer), []):
+            if candidate.public_key.verifies(certificate.tbs_der,
+                                             certificate.signature):
+                return candidate
+        return None
+
+    def union(self, *others):
+        """A new store containing this store's roots plus ``others``'."""
+        merged = TrustStore("+".join([self.name] + [o.name for o in others]))
+        for store in (self, *others):
+            for root in store:
+                if not merged.contains(root):
+                    merged.add(root)
+        return merged
+
+
+def major_stores(public_cas, rng=None):
+    """Build Mozilla/Apple/Microsoft-style stores for ``public_cas``.
+
+    Every public-trust root lands in the Mozilla store (the baseline the
+    paper uses via Zeek); the Apple and Microsoft stores each carry the
+    same population — divergence between real programs exists but does not
+    drive any finding, so the ensemble is kept aligned.
+    """
+    mozilla = TrustStore("mozilla", [ca.root for ca in public_cas])
+    apple = TrustStore("apple", [ca.root for ca in public_cas])
+    microsoft = TrustStore("microsoft", [ca.root for ca in public_cas])
+    return mozilla, apple, microsoft

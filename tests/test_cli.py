@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_seed_default(self):
+        args = build_parser().parse_args(["report"])
+        assert args.seed == 2023
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    # The Study cache makes these cheap after the session fixtures ran.
+
+    def test_generate_writes_jsonl(self, tmp_path, study, capsys):
+        out = tmp_path / "capture.jsonl"
+        assert main(["generate", "-o", str(out)]) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == len(study.dataset.records)
+        first = json.loads(lines[0])
+        assert {"device_id", "vendor", "ciphersuites", "sni"} <= set(first)
+
+    def test_probe_writes_summary(self, tmp_path, study, capsys):
+        out = tmp_path / "certs.jsonl"
+        assert main(["probe", "-o", str(out)]) == 0
+        rows = [json.loads(line)
+                for line in out.read_text().strip().splitlines()]
+        assert len(rows) == 1194
+        reachable = [row for row in rows if row["reachable"]]
+        assert len(reachable) == 1151
+        assert all("issuer" in row for row in reachable)
+
+    def test_report_to_stdout(self, study, capsys):
+        assert main(["report", "-o", "-"]) == 0
+        text = capsys.readouterr().out
+        assert "# IoT TLS & Certificate Practice" in text
+        assert "Table 2" in text
+        assert "Netflix" in text
+
+    def test_report_to_file(self, tmp_path, study, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "-o", str(out)]) == 0
+        assert out.read_text().startswith("# IoT TLS")
+
+    def test_audit_known_vendor(self, study, capsys):
+        assert main(["audit", "Tuya"]) == 0
+        text = capsys.readouterr().out
+        assert "Tuya" in text
+        assert "PRIVATE" in text
+
+    def test_audit_unknown_vendor(self, study, capsys):
+        assert main(["audit", "NotAVendor"]) == 2
+
+    def test_whatif_revocation(self, study, capsys):
+        assert main(["whatif", "revocation"]) == 0
+        text = capsys.readouterr().out
+        assert "no revocation path" in text

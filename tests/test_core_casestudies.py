@@ -1,0 +1,116 @@
+"""Tests for the Section 6 case studies."""
+
+import pytest
+
+from repro.core import casestudies
+from repro.x509.validation import ChainStatus
+
+
+@pytest.fixture(scope="module")
+def tv_study(study):
+    return casestudies.smart_tv_study(ecosystem=study.ecosystem)
+
+
+class TestSmartTVs:
+    def test_groups_present(self, tv_study):
+        assert set(tv_study.validations) == {"amazon", "amazon-own",
+                                             "roku", "roku-own"}
+
+    def test_third_party_failures(self, tv_study):
+        table = tv_study.status_table()
+        roku_issues = table["roku"]
+        assert "Incomplete chain" in roku_issues
+        assert any("netflix.com" in fqdn
+                   for fqdn in roku_issues["Incomplete chain"])
+        assert "Expired certificate" in roku_issues
+
+    def test_amazon_group_expired_server(self, tv_study):
+        table = tv_study.status_table()
+        expired = table.get("amazon-own", {}).get("Expired certificate", [])
+        assert "arcus-uswest.amazon.com" in expired
+
+    def test_amazon_infrastructure_clean(self, tv_study):
+        infra = tv_study.vendor_infrastructure["amazon-own"]
+        vendor_like = [(issuer, days, in_ct) for issuer, days, in_ct
+                       in infra if issuer in ("Amazon", "DigiCert")]
+        assert vendor_like
+        # Amazon's own non-expired certs: ~400 days and logged in CT.
+        for issuer, days, in_ct in vendor_like:
+            if days > 390 and days < 410:
+                assert in_ct
+
+    def test_roku_infrastructure_split(self, tv_study):
+        infra = tv_study.vendor_infrastructure["roku-own"]
+        issuers = {issuer for issuer, _d, _ct in infra}
+        assert "Roku" in issuers
+        assert issuers & {"Amazon", "DigiCert", "Let's Encrypt"}
+        for issuer, days, in_ct in infra:
+            if issuer == "Roku":
+                assert days >= 4000       # ~13 years
+                assert not in_ct          # never logged
+            elif days < 1000:
+                assert in_ct
+
+    def test_runs_standalone_without_shared_ecosystem(self):
+        study = casestudies.smart_tv_study()
+        assert study.validations
+
+
+class TestLocalPKI:
+    @pytest.fixture(scope="class")
+    def local(self):
+        return casestudies.local_pki_study()
+
+    def test_connection_inventory(self, local):
+        assert len(local.connections) == 5
+        ports = {c.port for c in local.connections}
+        assert {55443, 10101, 8443, 32245} <= ports
+
+    def test_echo_self_signed_ip_cn(self, local):
+        echo = next(c for c in local.connections
+                    if c.server == "Amazon Echo")
+        leaf = echo.leaf
+        assert leaf.is_self_signed()
+        assert leaf.subject.common_name.count(".") == 3  # an IPv4 literal
+        assert leaf.validity_days == pytest.approx(365)
+
+    def test_cast_chain_structure(self, local):
+        chromecast = next(c for c in local.connections
+                          if c.server == "Google Chromecast"
+                          and c.chain_extractable)
+        leaf, ica = chromecast.chain
+        assert ica.subject.common_name == "Chromecast ICA 12"
+        assert ica.issuer.common_name == "Cast Root CA"
+        assert 21 * 365 <= ica.validity_days <= 23 * 365
+        leaf.verify_signature(ica.public_key)
+
+    def test_home_ica_validity(self, local):
+        home = next(c for c in local.connections
+                    if c.server == "Google Home")
+        _leaf, ica = home.chain
+        assert "Audio Assist" in ica.subject.common_name
+        assert 19 * 365 <= ica.validity_days <= 21 * 365
+
+    def test_tls13_chain_not_extractable(self, local):
+        macbook = next(c for c in local.connections
+                       if c.client == "MacBook")
+        assert macbook.tls_version == "TLS 1.3"
+        assert not macbook.chain_extractable
+        assert macbook.leaf is None
+
+    def test_cast_roots_not_in_stores_or_ct(self, local, study):
+        chromecast = next(c for c in local.connections
+                          if c.server == "Google Chromecast"
+                          and c.chain_extractable)
+        _leaf, ica = chromecast.chain
+        assert not study.ecosystem.union_store.contains(ica)
+        assert not study.network.ct_logs.query(ica)
+
+    def test_validation_fails_against_public_store(self, local, study):
+        chromecast = next(c for c in local.connections
+                          if c.server == "Google Chromecast"
+                          and c.chain_extractable)
+        report = study.validator().validate(
+            list(chromecast.chain), at=casestudies.parse_date("2020-03-01"))
+        assert report.status in (ChainStatus.INCOMPLETE_CHAIN,
+                                 ChainStatus.UNTRUSTED_ROOT)

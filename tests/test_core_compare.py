@@ -1,0 +1,54 @@
+"""Tests for the study comparison API."""
+
+import pytest
+
+from repro.core.compare import (
+    Headline,
+    client_headlines,
+    compare_datasets,
+    compare_headlines,
+    drifted,
+)
+
+
+class TestHeadlines:
+    def test_metric_set(self, dataset, corpus):
+        names = {headline.name
+                 for headline in client_headlines(dataset, corpus)}
+        assert "degree_one_share" in names
+        assert "vulnerable_share" in names
+        assert len(names) == 6
+
+    def test_values_plausible(self, dataset, corpus):
+        for headline in client_headlines(dataset, corpus):
+            assert headline.value >= 0
+            assert headline.tolerance > 0
+
+
+class TestCompare:
+    def test_self_comparison_no_drift(self, dataset, corpus):
+        deltas = compare_datasets(dataset, dataset, corpus)
+        assert all(delta.delta == 0 for delta in deltas)
+        assert drifted(deltas) == []
+
+    def test_mismatched_sets_rejected(self):
+        a = [Headline("x", 1.0, 0.1)]
+        b = [Headline("y", 1.0, 0.1)]
+        with pytest.raises(ValueError):
+            compare_headlines(a, b)
+
+    def test_drift_detection(self):
+        a = [Headline("x", 1.0, 0.1), Headline("y", 2.0, 0.5)]
+        b = [Headline("x", 1.5, 0.1), Headline("y", 2.1, 0.5)]
+        deltas = compare_headlines(a, b)
+        bad = drifted(deltas)
+        assert [delta.name for delta in bad] == ["x"]
+        assert bad[0].delta == pytest.approx(0.5)
+
+    def test_cross_seed_within_tolerance(self, dataset, corpus):
+        # The seed-7 world's client headlines stay inside every band.
+        from repro.inspector.dataset import InspectorDataset
+        from repro.inspector.generator import WorldGenerator
+        alt = InspectorDataset.from_world(WorldGenerator(seed=7).generate())
+        deltas = compare_datasets(dataset, alt, corpus)
+        assert drifted(deltas) == []

@@ -1,0 +1,76 @@
+"""Tests for the figure data exporters."""
+
+import json
+
+import pytest
+
+from repro.core import figures
+from repro.core.chains import validate_all
+from repro.inspector.timeline import PROBE_TIME
+
+
+class TestFigure1:
+    def test_nodes_and_links(self, dataset):
+        data = figures.figure1_data(dataset)
+        vendors = [n for n in data["nodes"] if n["kind"] == "vendor"]
+        fps = [n for n in data["nodes"] if n["kind"] == "fingerprint"]
+        assert len(vendors) == 65
+        assert len(fps) == dataset.fingerprint_count
+        node_ids = {n["id"] for n in data["nodes"]}
+        for link in data["links"]:
+            assert link["source"] in node_ids
+            assert link["target"] in node_ids
+
+    def test_json_serializable(self, dataset):
+        json.dumps(figures.figure1_data(dataset))
+
+
+class TestFigure2:
+    def test_sorted_unit_values(self, dataset):
+        data = figures.figure2_data(dataset)
+        for series in data.values():
+            assert series == sorted(series)
+            assert all(0.0 <= value <= 1.0 for value in series)
+            assert len(series) == 65
+
+
+class TestFigure5:
+    def test_matrix_rows_normalized(self, study, dataset, certificates):
+        data = figures.figure5_data(dataset, certificates, study.ecosystem)
+        assert set(data["public"]) | set(data["private"]) == \
+            set(data["issuers"])
+        for vendor, row in data["matrix"].items():
+            assert sum(row.values()) == pytest.approx(1.0, abs=0.01)
+
+
+class TestFigure6:
+    def test_points_shape(self, study, dataset, certificates, survey):
+        data = figures.figure6_data(dataset, certificates, survey,
+                                    study.ecosystem, study.network.ct_logs)
+        assert data["points"]
+        for point in data["points"][:50]:
+            assert point["validity_days"] > 0
+            assert isinstance(point["in_ct"], bool)
+
+
+class TestExportAll:
+    def test_writes_all_files(self, study, tmp_path):
+        written = figures.export_all(study, tmp_path)
+        assert len(written) == 8
+        for path in written:
+            payload = json.loads(path.read_text())
+            assert payload  # non-empty, valid JSON
+
+    def test_figure9_flows(self, dataset):
+        data = figures.figure9_data(dataset)
+        assert "Synology" in data
+        assert any("3DES" in key for key in data["Synology"])
+
+    def test_figure10_vendor_coverage(self, dataset):
+        data = figures.figure10_data(dataset)
+        assert len(data) == 65
+
+    def test_figure11_indexes_sorted(self, dataset):
+        data = figures.figure11_data(dataset)
+        for values in data.values():
+            assert values == sorted(values)

@@ -1,0 +1,77 @@
+"""Tests for the bipartite graph views (Figures 1, 3, 4)."""
+
+import networkx as nx
+import pytest
+
+from repro.core import graphs
+
+
+class TestVendorFingerprintGraph:
+    @pytest.fixture(scope="class")
+    def graph(self, dataset):
+        return graphs.vendor_fingerprint_graph(dataset)
+
+    def test_bipartite_structure(self, graph):
+        for node, data in graph.nodes(data=True):
+            assert data["bipartite"] in ("vendor", "fingerprint")
+        for a, b in graph.edges():
+            kinds = {graph.nodes[a]["bipartite"],
+                     graph.nodes[b]["bipartite"]}
+            assert kinds == {"vendor", "fingerprint"}
+
+    def test_node_counts(self, graph, dataset):
+        summary = graphs.graph_summary(graph)
+        assert summary["entity_nodes"] == dataset.vendor_count
+        assert summary["fingerprint_nodes"] == dataset.fingerprint_count
+
+    def test_edge_count_is_degree_sum(self, graph, dataset):
+        expected = sum(dataset.fingerprint_degree(fp)
+                       for fp in dataset.fingerprints())
+        assert graph.number_of_edges() == expected
+
+    def test_security_attributes(self, graph):
+        levels = {data["security"]
+                  for _n, data in graph.nodes(data=True)
+                  if data.get("bipartite") == "fingerprint"}
+        assert "Vulnerable" in levels
+        assert levels <= {"Optimal", "Suboptimal", "Vulnerable"}
+
+    def test_vendor_indexes_assigned(self, graph):
+        indexes = [data["index"] for _n, data in graph.nodes(data=True)
+                   if data.get("bipartite") == "vendor"]
+        assert sorted(indexes) == list(range(1, 66))
+
+    def test_mini_graph(self, mini_dataset):
+        graph = graphs.vendor_fingerprint_graph(mini_dataset)
+        assert graphs.graph_summary(graph)["entity_nodes"] == 2
+        assert graphs.graph_summary(graph)["fingerprint_nodes"] == 3
+        assert graph.number_of_edges() == 5  # degrees 1+2+2
+
+
+class TestAmazonFigures:
+    def test_type_graph(self, dataset):
+        graph = graphs.device_type_fingerprint_graph(dataset, "Amazon")
+        types = [n for n, d in graph.nodes(data=True)
+                 if d.get("bipartite") == "type"]
+        assert len(types) == 9  # Amazon's device-type lines
+
+    def test_exclusive_type_fingerprints(self, dataset):
+        exclusive = graphs.exclusive_fingerprints_per_type(dataset,
+                                                           "Amazon")
+        total = len(dataset.vendor_fingerprints("Amazon"))
+        # Figure 3: most Amazon fingerprints tie to a single type.
+        assert exclusive > 0.4 * total
+
+    def test_echo_device_graph(self, dataset):
+        graph = graphs.device_fingerprint_graph(dataset, "Amazon",
+                                                device_type="Echo")
+        devices = [n for n, d in graph.nodes(data=True)
+                   if d.get("bipartite") == "device"]
+        assert len(devices) >= 40  # many Echo units in the population
+        assert nx.number_connected_components(graph) >= 1
+
+    def test_device_graph_all_types(self, dataset):
+        graph = graphs.device_fingerprint_graph(dataset, "Wyze")
+        devices = [n for n, d in graph.nodes(data=True)
+                   if d.get("bipartite") == "device"]
+        assert len(devices) == 75  # the paper's 75 Wyze cameras

@@ -1,0 +1,188 @@
+"""Tests for the Section 5 analyses (issuers, chains, CT, SLDs, geo, lab)."""
+
+import pytest
+
+from repro.core import chains, ct_validity, geo, labcompare, slds
+from repro.core.issuers import issuer_report, leaf_issuer_org
+from repro.inspector.timeline import CAPTURE_END, PROBE_TIME
+from repro.x509.validation import ChainStatus
+
+
+@pytest.fixture(scope="module")
+def issuers_rep(study, dataset, certificates):
+    return issuer_report(dataset, certificates, study.ecosystem)
+
+
+@pytest.fixture(scope="module")
+def ct_rep(study, dataset, certificates, survey):
+    return ct_validity.ct_report(dataset, certificates, survey,
+                                 study.ecosystem, study.network.ct_logs)
+
+
+class TestIssuerAnalysis:
+    def test_matrix_columns_normalized(self, issuers_rep):
+        for vendor in ("Amazon", "Roku", "Tuya"):
+            ratios = issuers_rep.vendor_issuer_ratios(vendor)
+            assert sum(ratios.values()) == pytest.approx(1.0)
+
+    def test_public_only_vendor_block(self, issuers_rep):
+        public_only = issuers_rep.vendors_public_only()
+        assert len(public_only) >= 20   # paper: 31 vendors
+        assert "Wyze" in public_only
+
+    def test_tuya_column_pure_private(self, issuers_rep):
+        ratios = issuers_rep.vendor_issuer_ratios("Tuya")
+        assert set(ratios) == {"Tuya"}
+
+    def test_roku_mixed_column(self, issuers_rep):
+        ratios = issuers_rep.vendor_issuer_ratios("Roku")
+        assert "Roku" in ratios
+        assert any(org != "Roku" for org in ratios)  # third-party visits
+
+
+class TestChainValidation:
+    def test_status_population(self, survey):
+        counts = survey.status_counts()
+        assert counts[ChainStatus.OK] > 900
+        assert counts[ChainStatus.INCOMPLETE_CHAIN] >= 30
+        assert counts[ChainStatus.UNTRUSTED_ROOT] >= 30
+        assert counts.get(ChainStatus.SELF_SIGNED, 0) >= 3
+
+    def test_table7_contains_paper_domains(self, study, dataset, survey):
+        rows = chains.validation_failure_rows(survey, dataset,
+                                              study.ecosystem)
+        domains = {row.domain for row in rows}
+        for expected in ("netflix.com", "roku.com",
+                         "samsungcloudsolution.net", "nest.com",
+                         "meethue.com", "obitalk.com", "tesla.services"):
+            assert expected in domains
+
+    def test_table7_roku_row_shape(self, study, dataset, survey):
+        rows = chains.validation_failure_rows(survey, dataset,
+                                              study.ecosystem)
+        roku = next(row for row in rows if row.domain == "roku.com")
+        assert roku.leaf_issuer == "Roku"
+        assert not roku.issuer_is_public
+        assert roku.fqdn_count == 14
+        assert set(roku.vendors) <= {"Brother", "Cisco", "Insignia",
+                                     "Roku", "Sharp", "TCL"}
+        assert len(roku.vendors) >= 2
+
+    def test_table7_includes_public_issuer_failure(self, study, dataset,
+                                                   survey):
+        rows = chains.validation_failure_rows(survey, dataset,
+                                              study.ecosystem)
+        # The amazonaws.com host with a broken DigiCert chain (Table 7's
+        # one public-issuer row).
+        assert any(row.issuer_is_public for row in rows)
+
+    def test_table14_domains_and_statuses(self, study, dataset, survey):
+        rows = chains.private_issuer_rows(survey, dataset, study.ecosystem)
+        by_domain = {row.domain: row for row in rows}
+        assert by_domain["canaryis.com"].status is ChainStatus.UNTRUSTED_ROOT
+        assert by_domain["dishaccess.tv"].status is ChainStatus.SELF_SIGNED
+        assert by_domain["ueiwsp.com"].status is ChainStatus.SELF_SIGNED
+        # Canary presents the full 4-certificate chain.
+        assert 4 in by_domain["canaryis.com"].chain_lengths
+
+    def test_table8_expired(self, dataset, certificates):
+        rows = chains.expired_rows(certificates, dataset,
+                                   reference_time=CAPTURE_END)
+        by_domain = {row.domain: row for row in rows}
+        assert by_domain["skyegloup.com"].issuer == "Gandi"
+        assert by_domain["skyegloup.com"].not_after_text() == "07/31/2018"
+        assert by_domain["wink.com"].issuer == "COMODO"
+        assert "wink" in by_domain["wink.com"].vendors
+
+    def test_cn_mismatch_is_tuya(self, survey):
+        assert survey.cn_mismatches() == ["a2.tuyaus.com"]
+
+    def test_private_incomplete_share(self, study, survey):
+        share = chains.private_leaf_incomplete_share(survey,
+                                                     study.ecosystem)
+        assert 0.2 <= share <= 0.8     # paper: 45.78%
+
+
+class TestCTAndValidity:
+    def test_tuple_count_scale(self, ct_rep):
+        # Paper: 4,949 {server, leaf, vendor} tuples.
+        assert 2500 <= ct_rep.tuple_count() <= 9000
+
+    def test_private_cas_never_logged(self, ct_rep):
+        for point in ct_rep.points:
+            if point.category == ct_validity.CATEGORY_PRIVATE:
+                assert not point.in_ct
+
+    def test_chained_private_not_logged(self, ct_rep):
+        assert ct_rep.private_chained_certs_in_ct() == 0
+        chained = [p for p in ct_rep.points if p.category ==
+                   ct_validity.CATEGORY_PRIVATE_LEAF_PUBLIC_ROOT]
+        assert chained, "expected Netflix-style chained certificates"
+
+    def test_eight_public_certs_missing(self, ct_rep):
+        missing = ct_rep.public_ca_certs_missing_from_ct()
+        # Paper: Microsoft 4, Apple 2, Sectigo 1, DigiCert 1.
+        assert missing.get("Microsoft Corporation") == 4
+        assert missing.get("Apple") == 2
+        assert missing.get("Sectigo") == 1
+        assert 6 <= sum(missing.values()) <= 10
+
+    def test_validity_periods_split(self, ct_rep):
+        summary = ct_rep.validity_summary()
+        public = summary[ct_validity.CATEGORY_PUBLIC]
+        private = summary[ct_validity.CATEGORY_PRIVATE]
+        assert public[2] <= 1000        # public max below ~1000 days
+        assert private[2] >= 20000      # Tuya's 36,500-day certificate
+
+    def test_netflix_table9(self, certificates, study):
+        rows = ct_validity.netflix_rows(certificates,
+                                        study.network.ct_logs)
+        assert len(rows) == 2
+        long_lived = rows[0]
+        assert max(long_lived.validity_days) == 8150
+        assert not long_lived.in_ct
+        chained = rows[1]
+        assert chained.leaf_issuer_cn == "Netflix Public SHA2 RSA CA 3"
+        assert max(chained.validity_days) < 400
+        assert not chained.in_ct
+        assert "VeriSign" in chained.topmost_issuer_cn
+
+    def test_figure13_private_dominates(self, study, survey):
+        figure = ct_validity.private_chain_ct_figure(
+            survey, study.ecosystem, study.network.ct_logs)
+        assert figure.get(("private", "not in CT"), 0) > \
+            figure.get(("private", "in CT"), 0)
+
+
+class TestSLDs:
+    def test_row_count(self, dataset, certificates):
+        rows = slds.sld_rows(dataset, certificates)
+        stats = slds.sld_statistics(rows)
+        assert stats["sld_count"] == 357
+        assert stats["max_devices"] <= 2014
+
+    def test_top_slds_are_the_big_platforms(self, dataset, certificates):
+        rows = slds.sld_rows(dataset, certificates)
+        top10 = {row.sld for row in rows[:10]}
+        assert {"amazon.com", "google.com"} & top10
+
+    def test_empty_rows(self):
+        assert slds.sld_statistics([])["sld_count"] == 0
+
+
+class TestGeoAndLab:
+    def test_table16_shape(self, certificates):
+        comparison = geo.geo_comparison(certificates)
+        assert comparison.extracted["new-york"] == 1151
+        # The bulk of SNIs serve one certificate everywhere.
+        assert comparison.shared_across_all >= 950
+        for vantage, count in comparison.exclusive.items():
+            assert count <= 200
+
+    def test_lab_comparison(self, study, dataset, certificates):
+        comparison = labcompare.lab_comparison(dataset, certificates,
+                                               study.network)
+        assert len(comparison.common_snis) == 362
+        assert comparison.same_issuer == 356   # paper: 356 of 362
+        assert len(comparison.different_issuer) == 6
+        assert comparison.consistency > 0.97

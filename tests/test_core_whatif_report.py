@@ -1,0 +1,106 @@
+"""Tests for the what-if experiments and the markdown report."""
+
+import pytest
+
+from repro.core import whatif
+from repro.core.pipeline import run_full_study
+from repro.core.report import render_report
+from repro.x509.validation import ChainStatus
+
+
+class TestACMEAdoption:
+    @pytest.fixture(scope="class")
+    def result(self, study):
+        return whatif.acme_adoption(study)
+
+    def test_validity_collapses(self, result):
+        assert result["before"]["validity_min_med_max"][2] >= 30_000
+        assert result["after"]["validity_min_med_max"][2] <= 90
+
+    def test_ct_coverage_complete(self, result):
+        assert result["before"]["ct_share"] == 0.0
+        assert result["after"]["ct_share"] == 1.0
+
+    def test_population_is_the_private_leafs(self, result, study,
+                                             certificates):
+        from repro.core.issuers import leaf_issuer_org
+        expected = sum(
+            1 for r in certificates.results_at().values()
+            if r.leaf is not None and not study.ecosystem.is_public_trust(
+                leaf_issuer_org(r.leaf)))
+        assert result["private_leaf_count"] == expected
+
+
+class TestAIAChasing:
+    @pytest.fixture(scope="class")
+    def result(self, study, certificates):
+        return whatif.aia_chasing(study, certificates)
+
+    def test_incomplete_never_increases(self, result):
+        assert result["after"].get(ChainStatus.INCOMPLETE_CHAIN, 0) <= \
+            result["before"].get(ChainStatus.INCOMPLETE_CHAIN, 0)
+
+    def test_private_roots_not_fixed(self, result):
+        # AIA can complete chains, not mint trust.
+        assert result["after"].get(ChainStatus.UNTRUSTED_ROOT, 0) >= \
+            result["before"].get(ChainStatus.UNTRUSTED_ROOT, 0)
+
+    def test_total_preserved(self, result):
+        assert sum(result["before"].values()) == \
+            sum(result["after"].values())
+
+
+class TestTrustStores:
+    def test_aligned_stores_agree(self, study, certificates):
+        histograms = whatif.trust_store_choice(study, certificates)
+        assert histograms["mozilla"] == histograms["apple"] == \
+            histograms["microsoft"] == histograms["union"]
+
+
+class TestRevocationExposure:
+    def test_private_revocations_expose_devices(self, study):
+        result = whatif.revocation_exposure(study, compromised_share=0.08)
+        assert result["revoked_leafs"]["public"] > 0
+        assert result["revoked_leafs"]["private"] >= 0
+        if result["revoked_leafs"]["private"]:
+            assert result["devices_exposed_no_revocation_path"] > 0
+
+    def test_deterministic(self, study):
+        one = whatif.revocation_exposure(study)
+        two = whatif.revocation_exposure(study)
+        assert one == two
+
+
+class TestFingerprintDefinition:
+    def test_paper_definition_is_finest(self, dataset):
+        result = whatif.fingerprint_definition(dataset)
+        assert result["3-tuple (paper)"]["fingerprints"] >= \
+            result["suites+version"]["fingerprints"] >= \
+            result["suites_only"]["fingerprints"]
+
+    def test_degree_one_share_robust(self, dataset):
+        result = whatif.fingerprint_definition(dataset)
+        shares = [d["degree_one_share"] for d in result.values()]
+        assert max(shares) - min(shares) < 0.1
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def text(self, study):
+        return render_report(run_full_study(study), seed=study.seed,
+                             generated_at=1_650_000_000)
+
+    def test_contains_all_sections(self, text):
+        for anchor in ("Table 2", "Table 3", "Table 7", "Table 8",
+                       "Table 14", "Netflix (Table 9)", "Geography",
+                       "Lab cross-check"):
+            assert anchor in text
+
+    def test_markdown_tables_well_formed(self, text):
+        for line in text.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|")
+
+    def test_headline_numbers_present(self, text):
+        assert "47.26%" in text        # DigiCert share
+        assert "2014" in text or "1151" in text

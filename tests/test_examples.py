@@ -1,0 +1,59 @@
+"""Regression tests: every example script runs end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, study, capsys):
+        load_example("quickstart").main(study.seed)
+        out = capsys.readouterr().out
+        assert "Headline findings" in out
+        assert "47.26%" in out
+
+    def test_fingerprint_audit(self, study, capsys):
+        load_example("fingerprint_audit").main("Samsung")
+        out = capsys.readouterr().out
+        assert "Client-side TLS audit: Samsung" in out
+        assert "DoC_vendor" in out
+
+    def test_certificate_audit(self, study, capsys):
+        load_example("certificate_audit").main("Roku")
+        out = capsys.readouterr().out
+        assert "Server certificate audit for Roku" in out
+        assert "not in CT" in out
+
+    def test_supply_chain_discovery(self, study, capsys):
+        load_example("supply_chain_discovery").main(0.2)
+        out = capsys.readouterr().out
+        assert "HDHomeRun, SiliconDust" in out
+        assert "sonos.com" in out
+
+    def test_smart_tv_case_study(self, study, capsys):
+        load_example("smart_tv_case_study").main()
+        out = capsys.readouterr().out
+        assert "Cast Root CA" in out or "Chromecast" in out
+        assert "roku-own" in out
+
+    def test_acme_migration(self, study, capsys):
+        load_example("acme_migration").main("Tuya")
+        out = capsys.readouterr().out
+        assert "90d" in out
+        assert "True" in out
+
+    def test_unknown_vendor_raises(self, study):
+        with pytest.raises(SystemExit):
+            load_example("fingerprint_audit").main("NotAVendor")

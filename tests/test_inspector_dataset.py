@@ -1,0 +1,85 @@
+"""Unit tests for the dataset query layer (on a hand-built mini world)."""
+
+from repro.inspector.dataset import InspectorDataset
+from tests.conftest import make_record
+
+
+class TestPopulation:
+    def test_counts(self, mini_dataset):
+        assert mini_dataset.device_count == 3
+        assert mini_dataset.vendor_count == 2
+        assert mini_dataset.user_count == 3
+
+    def test_vendor_names(self, mini_dataset):
+        assert mini_dataset.vendor_names() == ["Acme", "Bolt"]
+
+    def test_devices_of_vendor(self, mini_dataset):
+        assert mini_dataset.devices_of_vendor("Acme") == ["dev-a1", "dev-a2"]
+
+    def test_device_attribution(self, mini_dataset):
+        assert mini_dataset.device_vendor("dev-b1") == "Bolt"
+        assert mini_dataset.device_user("dev-a2") == "u2"
+        assert mini_dataset.device_type("dev-a1") == "Camera"
+
+
+class TestFingerprints:
+    def test_distinct_count(self, mini_dataset):
+        # unique(a1) + shared(a2,b1) + sdk(a2,b1) = 3 fingerprints.
+        assert mini_dataset.fingerprint_count == 3
+
+    def test_degree(self, mini_dataset):
+        degrees = sorted(mini_dataset.fingerprint_degree(fp)
+                         for fp in mini_dataset.fingerprints())
+        assert degrees == [1, 2, 2]
+
+    def test_vendor_fingerprints(self, mini_dataset):
+        acme = mini_dataset.vendor_fingerprints("Acme")
+        bolt = mini_dataset.vendor_fingerprints("Bolt")
+        assert len(acme) == 3
+        assert len(bolt) == 2
+        assert len(acme & bolt) == 2
+
+    def test_device_fingerprints(self, mini_dataset):
+        assert len(mini_dataset.device_fingerprints("dev-a2")) == 2
+        assert len(mini_dataset.device_fingerprints("dev-a1")) == 1
+
+    def test_fingerprint_devices(self, mini_dataset):
+        for fp in mini_dataset.fingerprints():
+            devices = mini_dataset.fingerprint_devices(fp)
+            assert devices <= {"dev-a1", "dev-a2", "dev-b1"}
+
+
+class TestSNIs:
+    def test_sni_index(self, mini_dataset):
+        assert "cdn.shared.net" in mini_dataset.snis()
+        assert mini_dataset.sni_devices("cdn.shared.net") == {"dev-a2",
+                                                              "dev-b1"}
+
+    def test_sni_fingerprints(self, mini_dataset):
+        assert len(mini_dataset.sni_fingerprints("cdn.shared.net")) == 1
+
+    def test_sni_users(self, mini_dataset):
+        assert mini_dataset.sni_users("cdn.shared.net") == {"u2", "u3"}
+
+    def test_device_fingerprint_pairs(self, mini_dataset):
+        pairs = mini_dataset.sni_device_fingerprints("cdn.shared.net")
+        assert len(pairs) == 2
+
+
+class TestTuples:
+    def test_ciphersuite_list_tuples(self, mini_dataset):
+        tuples = mini_dataset.ciphersuite_lists()
+        assert ("dev-a1", (0x002F, 0x0035)) in tuples
+        # dev-a2 contributes two distinct lists.
+        assert sum(1 for d, _s in tuples if d == "dev-a2") == 2
+
+    def test_len_and_iter(self, mini_dataset):
+        assert len(mini_dataset) == 5
+        assert sum(1 for _ in mini_dataset) == 5
+
+
+class TestRecordsOfDevice:
+    def test_records_grouped(self, mini_dataset):
+        records = mini_dataset.records_of_device("dev-a2")
+        assert len(records) == 2
+        assert all(record.device_id == "dev-a2" for record in records)

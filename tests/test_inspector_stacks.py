@@ -1,0 +1,163 @@
+"""Unit tests for TLS stack derivation."""
+
+import pytest
+
+from repro.inspector.stacks import SEVERE_SUITES, StackFactory, stable_rng
+from repro.libraries import openssl
+from repro.tlslib.ciphersuites import FALLBACK_SCSV, suite_by_code
+from repro.tlslib.extensions import ExtensionType
+from repro.tlslib.grease import contains_grease
+from repro.tlslib.versions import TLSVersion
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return StackFactory(seed=77)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return openssl.fingerprint_for("1.0.2u")
+
+
+class TestStableRng:
+    def test_same_scope_same_stream(self):
+        assert stable_rng(1, "a").random() == stable_rng(1, "a").random()
+
+    def test_different_scope_different_stream(self):
+        assert stable_rng(1, "a").random() != stable_rng(1, "b").random()
+
+    def test_insensitive_to_hash_randomization(self):
+        # The sequence must be a pure function of the repr, not of hash().
+        value = stable_rng("vendor", ("x", 3)).randrange(10**9)
+        assert value == stable_rng("vendor", ("x", 3)).randrange(10**9)
+
+
+class TestDerivation:
+    def test_exact_is_verbatim(self, factory, base):
+        stack = factory.derive(base, "s", mutation="exact")
+        assert stack.ciphersuites == base.ciphersuites
+        assert stack.extensions == base.extensions
+        assert stack.tls_version == base.tls_version
+        assert stack.mutation == "exact"
+
+    def test_extensions_mutation_keeps_suites(self, factory, base):
+        stack = factory.derive(base, "s", mutation="extensions",
+                               scope=("t1",))
+        assert stack.ciphersuites == base.ciphersuites
+        assert stack.extensions != base.extensions
+
+    def test_reorder_keeps_set(self, factory, base):
+        stack = factory.derive(base, "s", mutation="reorder", scope=("t2",))
+        assert set(stack.ciphersuites) == set(base.ciphersuites)
+
+    def test_component_mutation_same_components(self, factory, base):
+        stack = factory.derive(base, "s", mutation="component",
+                               scope=("t3",), hygiene=0.0)
+        base_kx = {suite_by_code(c).kx for c in base.ciphersuites
+                   if not suite_by_code(c).is_signaling}
+        new_kx = {suite_by_code(c).kx for c in stack.ciphersuites
+                  if not suite_by_code(c).is_signaling}
+        assert new_kx <= base_kx
+
+    def test_custom_differs(self, factory, base):
+        stack = factory.derive(base, "s", mutation="custom", scope=("t4",))
+        assert stack.ciphersuites != base.ciphersuites
+
+    def test_unknown_mutation_rejected(self, factory, base):
+        with pytest.raises(ValueError):
+            factory.derive(base, "s", mutation="nonsense")
+
+    def test_deterministic_per_scope(self, base):
+        one = StackFactory(seed=5).derive(base, "s", mutation="custom",
+                                          scope=("d1",))
+        two = StackFactory(seed=5).derive(base, "s", mutation="custom",
+                                          scope=("d1",))
+        assert one.ciphersuites == two.ciphersuites
+
+    def test_different_scopes_diverge(self, factory, base):
+        one = factory.derive(base, "s", mutation="custom", scope=("a",))
+        two = factory.derive(base, "s", mutation="custom", scope=("b",))
+        assert one.ciphersuites != two.ciphersuites
+
+
+class TestTLS13Capping:
+    def test_tls13_base_capped_to_12(self, factory):
+        base = openssl.fingerprint_for("1.1.1i")
+        stack = factory.derive(base, "s", mutation="reorder", scope=("c",))
+        assert stack.tls_version == TLSVersion.TLS_1_2
+        assert not any(suite_by_code(c).kx == "TLS13"
+                       for c in stack.ciphersuites)
+        assert int(ExtensionType.KEY_SHARE) not in stack.extensions
+
+
+class TestKnobs:
+    def test_fallback_scsv(self, factory, base):
+        stack = factory.derive(base, "s", mutation="reorder",
+                               scope=("f",), fallback_scsv=True)
+        assert FALLBACK_SCSV in stack.ciphersuites
+
+    def test_ocsp_extension(self, factory, base):
+        stack = factory.derive(base, "s", mutation="reorder",
+                               scope=("o",), ocsp=True)
+        assert int(ExtensionType.STATUS_REQUEST) in stack.extensions
+
+    def test_grease(self, factory, base):
+        stack = factory.derive(base, "s", mutation="reorder",
+                               scope=("g",), grease=True)
+        assert contains_grease(stack.extensions)
+
+    def test_version_override(self, factory, base):
+        stack = factory.derive(base, "s", mutation="reorder",
+                               scope=("v",),
+                               version_override=TLSVersion.SSL_3_0)
+        assert stack.tls_version == TLSVersion.SSL_3_0
+
+
+class TestHygiene:
+    def test_high_hygiene_strips_vulnerable(self, factory, base):
+        stack = factory.derive(base, "s", mutation="custom",
+                               scope=("h1",), hygiene=0.95)
+        for code in stack.ciphersuites:
+            assert not suite_by_code(code).vulnerable_components()
+
+    def test_low_hygiene_without_allow_severe_adds_nothing_severe(
+            self, factory, base):
+        for i in range(20):
+            stack = factory.derive(base, "s", mutation="custom",
+                                   scope=("h2", i), hygiene=0.05)
+            assert not any(code in SEVERE_SUITES
+                           for code in stack.ciphersuites)
+
+    def test_allow_severe_sometimes_adds(self, factory, base):
+        added = 0
+        for i in range(60):
+            stack = factory.derive(base, "s", mutation="custom",
+                                   scope=("h3", i), hygiene=0.05,
+                                   allow_severe=True)
+            if any(code in SEVERE_SUITES for code in stack.ciphersuites):
+                added += 1
+        assert 0 < added < 40
+
+    def test_never_empties_list(self, factory):
+        # A base made purely of vulnerable suites survives max hygiene.
+        from repro.libraries.base import LibraryFingerprint
+        base = LibraryFingerprint(
+            library="X", version="1", tls_version=TLSVersion.TLS_1_2,
+            ciphersuites=(0x000A, 0x0005), extensions=(0,))
+        stack = factory.derive(base, "s", mutation="similar",
+                               scope=("h4",), hygiene=0.95)
+        assert stack.ciphersuites
+
+
+class TestSimilarize:
+    def test_collapses_key_lengths(self, factory, base):
+        stack = factory.derive(base, "s", mutation="similar", scope=("s1",),
+                               hygiene=0.0)
+        names = {suite_by_code(c).name for c in stack.ciphersuites}
+        # After similarizing, AES_128_CBC_SHA and AES_256_CBC_SHA never
+        # coexist for the same kx.
+        for name in names:
+            if "AES_128_CBC_SHA" in name and name.endswith("AES_128_CBC_SHA"):
+                sibling = name.replace("AES_128_CBC_SHA", "AES_256_CBC_SHA")
+                assert sibling not in names

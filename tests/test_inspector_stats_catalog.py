@@ -1,0 +1,158 @@
+"""Tests for dataset statistics, catalog integrity, and vendor profiles."""
+
+import pytest
+
+from repro.inspector import catalog, stats
+from repro.inspector.dataset import InspectorDataset
+from repro.inspector.timeline import (
+    CAPTURE_END,
+    CAPTURE_START,
+    LAB_END,
+    LAB_START,
+    PROBE_TIME,
+    days,
+    parse_date,
+)
+from repro.inspector.vendors import (
+    EXCLUSIVE_CA_VENDORS,
+    PROFILES_BY_NAME,
+    SHARED_POOLS,
+    VENDOR_CA_NAMES,
+    VENDOR_PROFILES,
+    total_devices,
+)
+from tests.conftest import make_record
+
+
+class TestTimeline:
+    def test_ordering(self):
+        assert CAPTURE_START < CAPTURE_END < PROBE_TIME
+        assert LAB_START < CAPTURE_START < LAB_END
+
+    def test_capture_span_about_15_months(self):
+        assert 440 <= (CAPTURE_END - CAPTURE_START) / 86_400 <= 470
+
+    def test_days_helper(self):
+        assert days(1) == 86_400
+        assert days(0.5) == 43_200
+
+    def test_parse_date(self):
+        assert parse_date("1970-01-02") == 86_400
+        assert parse_date("2018-07-31") < parse_date("2019-04-17")
+
+
+class TestVendorProfiles:
+    def test_population_pinned(self):
+        assert len(VENDOR_PROFILES) == 65
+        assert total_devices() == 2014
+
+    def test_indexes_are_table13(self):
+        assert sorted(p.index for p in VENDOR_PROFILES) == \
+            list(range(1, 66))
+
+    def test_names_unique(self):
+        names = [p.name for p in VENDOR_PROFILES]
+        assert len(set(names)) == 65
+
+    def test_sixteen_vendor_cas(self):
+        assert len(VENDOR_CA_NAMES) == 16
+
+    def test_exclusive_vendors(self):
+        assert set(EXCLUSIVE_CA_VENDORS) == {"Canary", "Obihai", "Tuya"}
+
+    def test_pool_references_valid(self):
+        for profile in VENDOR_PROFILES:
+            for pool in profile.pools:
+                assert pool in SHARED_POOLS
+
+    def test_rates_in_unit_interval(self):
+        for profile in VENDOR_PROFILES:
+            for rate in (profile.hygiene, profile.device_stack_rate,
+                         profile.grease_rate, profile.ocsp_rate,
+                         profile.fallback_rate):
+                assert 0.0 <= rate <= 1.0
+            assert profile.stacks_per_device >= 1.0
+            assert profile.devices > 0
+            assert profile.types
+
+    def test_severe_vendor_hygiene_band(self):
+        # The paper's 14 severe vendors must sit below the promotion
+        # threshold; the 7 clean vendors above the stripping threshold.
+        low = [p.name for p in VENDOR_PROFILES if p.hygiene < 0.2]
+        high = [p.name for p in VENDOR_PROFILES if p.hygiene > 0.85]
+        assert "Synology" in low and "Belkin" in low
+        assert "Sonos" in high
+        assert 10 <= len(low) <= 16
+        assert 5 <= len(high) <= 10
+
+
+class TestCatalogIntegrity:
+    def test_slds_unique(self):
+        slds = [d.sld for d in catalog.EXPLICIT_DOMAINS]
+        assert len(slds) == len(set(slds))
+
+    def test_table15_fqdn_counts(self):
+        by_sld = {d.sld: d.fqdn_count for d in catalog.EXPLICIT_DOMAINS}
+        assert by_sld["amazon.com"] == 57
+        assert by_sld["google.com"] == 24
+        assert by_sld["googleapis.com"] == 35
+        assert by_sld["netflix.com"] == 30
+        assert by_sld["amazonaws.com"] == 33
+        assert by_sld["roku.com"] == 42
+        assert by_sld["cloudfront.net"] == 21
+
+    def test_issuer_weights_positive(self):
+        for name, weight in catalog.FILLER_ISSUER_WEIGHTS:
+            assert weight > 0
+            assert name
+
+    def test_filler_names_unique_and_sized(self):
+        names = catalog.filler_domain_names(250)
+        assert len(names) == 250
+        assert len(set(names)) == 250
+        assert all("." in name for name in names)
+
+    def test_filler_org_cycles(self):
+        assert catalog.filler_org(0) == catalog.filler_org(
+            len(catalog._FILLER_ORGS))
+
+    def test_expired_groups_have_dates(self):
+        for domain in catalog.EXPLICIT_DOMAINS:
+            for group in domain.groups:
+                if group.expired_not_after:
+                    parse_date(group.expired_not_after)  # must parse
+
+
+class TestCaptureStats:
+    def test_describe_mini(self):
+        records = [
+            make_record(device="d1", user="u1", timestamp=CAPTURE_START),
+            make_record(device="d1", user="u1",
+                        timestamp=CAPTURE_START + days(10)),
+            make_record(device="d2", vendor="Other", user="u2",
+                        timestamp=CAPTURE_END),
+        ]
+        description = stats.describe(InspectorDataset(records))
+        assert description.device_count == 2
+        assert description.vendor_count == 2
+        assert description.record_count == 3
+        assert description.capture_days == pytest.approx(
+            (CAPTURE_END - CAPTURE_START) / 86_400)
+        assert description.records_per_device_mean == pytest.approx(1.5)
+
+    def test_describe_full(self, dataset):
+        description = stats.describe(dataset)
+        assert description.device_count == 2014
+        assert description.model_count >= 100
+        assert description.devices_per_user_mean == pytest.approx(
+            2014 / 721, rel=0.01)
+
+    def test_devices_per_product(self, dataset):
+        wyze = stats.devices_per_product(dataset, vendor="Wyze")
+        assert sum(wyze.values()) == 75
+
+    def test_coverage_histogram(self, dataset):
+        histogram = stats.capture_window_coverage(dataset, buckets=15)
+        assert len(histogram) == 15
+        assert sum(histogram) == len(dataset)
+        assert all(count > 0 for count in histogram)

@@ -1,0 +1,65 @@
+"""Tests for the world invariant checker."""
+
+import copy
+
+import pytest
+
+from repro.inspector.worldcheck import check_world
+
+
+class TestHealthyWorld:
+    def test_study_world_clean(self, study):
+        assert check_world(study.world) == []
+
+
+class TestViolationDetection:
+    @pytest.fixture
+    def broken(self, study):
+        # A shallow copy we can mutate without poisoning the shared study.
+        world = copy.copy(study.world)
+        world.devices = [copy.copy(device)
+                         for device in study.world.devices]
+        world.records = list(study.world.records)
+        world.servers = list(study.world.servers)
+        world.users = list(study.world.users)
+        return world
+
+    def test_detects_missing_base_stack(self, broken):
+        device = broken.devices[0]
+        device.stacks = {key: stack for key, stack
+                         in device.stacks.items() if key != "base"}
+        problems = check_world(broken)
+        assert any("no base stack" in problem for problem in problems)
+
+    def test_detects_unknown_user(self, broken):
+        broken.devices[0].user_id = "ghost-user"
+        problems = check_world(broken)
+        assert any("unknown user" in problem for problem in problems)
+
+    def test_detects_dangling_route(self, broken):
+        device = next(d for d in broken.devices if d.routing)
+        device.routing = dict(device.routing)
+        first_fqdn = next(iter(device.routing))
+        device.routing[first_fqdn] = "no-such-stack"
+        problems = check_world(broken)
+        assert any("missing stack" in problem for problem in problems)
+
+    def test_detects_out_of_window_record(self, broken):
+        from dataclasses import replace
+        broken.records = broken.records[:]
+        broken.records[0] = replace(broken.records[0], timestamp=1)
+        problems = check_world(broken)
+        assert any("outside the capture window" in problem
+                   for problem in problems)
+
+    def test_detects_server_undercount(self, broken):
+        broken.servers = broken.servers[:-5]
+        problems = check_world(broken)
+        assert any("server count" in problem for problem in problems)
+
+    def test_detects_silent_device(self, broken):
+        victim = broken.records[0].device_id
+        broken.records = [record for record in broken.records
+                          if record.device_id != victim]
+        problems = check_world(broken)
+        assert any("emitted no records" in problem for problem in problems)

@@ -1,0 +1,191 @@
+"""Unit tests for the known-library fingerprint models and corpus."""
+
+import pytest
+
+from repro.libraries import build_default_corpus, fingerprint_key
+from repro.libraries import curl, mbedtls, openssl, wolfssl
+from repro.libraries.base import version_sort_key
+from repro.tlslib.ciphersuites import suite_by_code
+from repro.tlslib.versions import TLSVersion
+
+
+class TestVersionSortKey:
+    @pytest.mark.parametrize("smaller,larger", [
+        ("1.0.1", "1.0.2"),
+        ("1.0.2a", "1.0.2b"),
+        ("1.0.2", "1.0.2a"),
+        ("7.19.0", "7.33.0"),
+        ("7.9.0", "7.33.0"),          # numeric, not lexical
+        ("2.16.4", "2.16.10"),
+        ("3.9.10-stable", "3.10.2-stable"),
+    ])
+    def test_ordering(self, smaller, larger):
+        assert version_sort_key(smaller) < version_sort_key(larger)
+
+
+class TestOpenSSL:
+    def test_paper_version_count(self):
+        assert len(openssl.fingerprints()) == 19
+
+    def test_100_is_tls10(self):
+        fingerprint = openssl.fingerprint_for("1.0.0t")
+        assert fingerprint.tls_version == TLSVersion.TLS_1_0
+
+    def test_101_adds_tls12_aead(self):
+        fingerprint = openssl.fingerprint_for("1.0.1u")
+        assert fingerprint.tls_version == TLSVersion.TLS_1_2
+        names = {suite_by_code(c).name for c in fingerprint.ciphersuites}
+        assert "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256" in names
+
+    def test_freak_removes_export_suites(self):
+        before = openssl.fingerprint_for("1.0.0m")
+        after = openssl.fingerprint_for("1.0.0q")
+        has_export = lambda fp: any(
+            suite_by_code(c).is_export for c in fp.ciphersuites)
+        assert has_export(before)
+        assert not has_export(after)
+
+    def test_wyze_case_102f_equals_102u(self):
+        # The paper's Wyze validation: 1.0.2f/1.0.2o/1.0.2u share a
+        # fingerprint.
+        assert openssl.fingerprint_for("1.0.2f").key() == \
+            openssl.fingerprint_for("1.0.2u").key()
+
+    def test_110_drops_rc4(self):
+        fingerprint = openssl.fingerprint_for("1.1.0l")
+        assert not any("RC4" in (suite_by_code(c).cipher or "")
+                       for c in fingerprint.ciphersuites)
+
+    def test_111_proposes_tls13(self):
+        fingerprint = openssl.fingerprint_for("1.1.1i")
+        assert fingerprint.tls_version == TLSVersion.TLS_1_3
+
+    def test_only_111_supported_in_2020(self):
+        supported = {fp.version for fp in openssl.fingerprints()
+                     if fp.supported_in_2020}
+        assert all(v.startswith("1.1.1") for v in supported)
+
+    def test_renegotiation_scsv_always_last(self):
+        from repro.tlslib.ciphersuites import EMPTY_RENEGOTIATION_INFO_SCSV
+        for fingerprint in openssl.fingerprints():
+            assert fingerprint.ciphersuites[-1] == \
+                EMPTY_RENEGOTIATION_INFO_SCSV
+
+    def test_unmodelled_branch_rejected(self):
+        with pytest.raises(ValueError):
+            openssl.config_for_version("0.9.8")
+
+
+class TestWolfSSL:
+    def test_paper_version_count(self):
+        assert len(wolfssl.fingerprints()) == 38
+
+    def test_cyassl_era_minimal(self):
+        fingerprint = wolfssl.fingerprint_for("1.8.0")
+        assert fingerprint.tls_version == TLSVersion.TLS_1_0
+        assert fingerprint.extensions == ()
+        assert len(fingerprint.ciphersuites) <= 6
+
+    def test_v3_gains_ecdhe(self):
+        fingerprint = wolfssl.fingerprint_for("3.9.0")
+        kxs = {suite_by_code(c).kx for c in fingerprint.ciphersuites}
+        assert "ECDHE_RSA" in kxs
+
+    def test_v4_tls13(self):
+        fingerprint = wolfssl.fingerprint_for("4.0.0-stable")
+        assert fingerprint.tls_version == TLSVersion.TLS_1_3
+
+    def test_consecutive_versions_share_fingerprints(self):
+        keys = [fp.key() for fp in wolfssl.fingerprints()]
+        assert len(set(keys)) < len(keys)
+
+
+class TestMbedTLS:
+    def test_paper_version_count(self):
+        assert len(mbedtls.fingerprints()) == 113
+
+    def test_polarssl_naming_split(self):
+        assert mbedtls.fingerprint_for("1.2.8").library == "PolarSSL"
+        assert mbedtls.fingerprint_for("2.7.0").library == "Mbed TLS"
+
+    def test_early_polarssl_tls11(self):
+        fingerprint = mbedtls.fingerprint_for("0.14.0")
+        assert fingerprint.tls_version == TLSVersion.TLS_1_1
+
+    def test_2x_drops_rc4(self):
+        fingerprint = mbedtls.fingerprint_for("2.1.0")
+        ciphers = {suite_by_code(c).cipher for c in fingerprint.ciphersuites}
+        assert not any(c and c.startswith("RC4") for c in ciphers)
+
+    def test_27_drops_3des(self):
+        older = mbedtls.fingerprint_for("2.6.0")
+        newer = mbedtls.fingerprint_for("2.7.0")
+        has_3des = lambda fp: any(
+            (suite_by_code(c).cipher or "").startswith("3DES")
+            for c in fp.ciphersuites)
+        assert has_3des(older)
+        assert not has_3des(newer)
+
+    def test_216_is_lts_supported(self):
+        assert mbedtls.fingerprint_for("2.16.4").supported_in_2020
+
+
+class TestCurlGrids:
+    def test_grid_sizes_match_paper(self):
+        assert len(curl.openssl_build_fingerprints()) == 5591
+        assert len(curl.wolfssl_build_fingerprints()) == 1130
+
+    def test_alpn_from_733(self):
+        from repro.tlslib.extensions import ExtensionType
+        old = curl._build("7.30.0", "OpenSSL", openssl, "1.0.1u")
+        new = curl._build("7.40.0", "OpenSSL", openssl, "1.0.1u")
+        alpn = int(ExtensionType.APPLICATION_LAYER_PROTOCOL_NEGOTIATION)
+        assert alpn not in old.extensions
+        assert alpn in new.extensions
+
+    def test_npn_only_with_openssl(self):
+        from repro.tlslib.extensions import ExtensionType
+        npn = int(ExtensionType.NEXT_PROTOCOL_NEGOTIATION)
+        with_openssl = curl._build("7.40.0", "OpenSSL", openssl, "1.0.1u")
+        with_wolfssl = curl._build("7.40.0", "wolfSSL", wolfssl, "3.9.0")
+        assert npn in with_openssl.extensions
+        assert npn not in with_wolfssl.extensions
+
+    def test_backend_suites_inherited(self):
+        build = curl._build("7.52.1", "OpenSSL", openssl, "1.0.2u")
+        base = openssl.fingerprint_for("1.0.2u")
+        assert build.ciphersuites == base.ciphersuites
+
+
+class TestCorpus:
+    def test_total_size_matches_paper(self, corpus):
+        assert len(corpus) == 6891
+
+    def test_families_present(self, corpus):
+        assert set(corpus.libraries()) == {
+            "OpenSSL", "wolfSSL", "PolarSSL", "Mbed TLS",
+            "curl+OpenSSL", "curl+wolfSSL"}
+
+    def test_exact_match_returns_highest_version(self, corpus):
+        target = openssl.fingerprint_for("1.0.2f")
+        match = corpus.match(target.tls_version, target.ciphersuites,
+                             target.extensions)
+        assert match is not None
+        # 1.0.2f and 1.0.2u share a fingerprint; the match reports the
+        # later end of the range.
+        assert "1.0.2u" in match.version
+
+    def test_no_match_for_custom_fingerprint(self, corpus):
+        assert corpus.match(TLSVersion.TLS_1_2, (0xC02F, 0x1301), (0,)) \
+            is None
+
+    def test_match_all_spans_versions(self, corpus):
+        target = openssl.fingerprint_for("1.0.2u")
+        all_matches = corpus.match_all(target.tls_version,
+                                       target.ciphersuites,
+                                       target.extensions)
+        assert len(all_matches) > 1
+
+    def test_fingerprint_key_helper(self):
+        key = fingerprint_key(TLSVersion.TLS_1_2, [1, 2], [3])
+        assert key == (0x0303, (1, 2), (3,))

@@ -1,0 +1,97 @@
+"""Integration test: the one-call pipeline runs every analysis coherently."""
+
+import pytest
+
+from repro.core import pipeline
+from repro.core.tables import percent, render_cdf, render_table, truncate_fp
+
+
+@pytest.fixture(scope="module")
+def results(study):
+    return pipeline.run_full_study(study)
+
+
+class TestPipelineCompleteness:
+    CLIENT_KEYS = {
+        "matching", "degree_distribution", "doc_vendor", "doc_device",
+        "heterogeneity", "vulnerability", "jaccard_pairs",
+        "server_tie_fraction", "server_ties", "semantic_summary",
+        "versions", "fallback", "ocsp", "grease",
+        "lowest_vulnerable_index", "clean_vendors",
+        "preferred_components",
+    }
+    SERVER_KEYS = {
+        "issuers", "survey", "validation_failures", "private_issuer_rows",
+        "expired", "ct", "netflix", "ct_private_figure", "slds",
+        "sld_stats", "geo", "lab",
+    }
+
+    def test_client_keys(self, results):
+        assert set(results["client"]) == self.CLIENT_KEYS
+
+    def test_server_keys(self, results):
+        assert set(results["server"]) == self.SERVER_KEYS
+
+
+class TestCrossAnalysisConsistency:
+    def test_doc_vendor_covers_all_vendors(self, results, dataset):
+        assert set(results["client"]["doc_vendor"]) == \
+            set(dataset.vendor_names())
+
+    def test_vulnerable_fraction_agrees_with_graph(self, results, dataset):
+        from repro.core.graphs import graph_summary, vendor_fingerprint_graph
+        summary = graph_summary(vendor_fingerprint_graph(dataset))
+        vulnerable = summary["fingerprints_by_security"].get("Vulnerable", 0)
+        report = results["client"]["vulnerability"]
+        assert vulnerable == report.vulnerable_fingerprints
+
+    def test_issuer_counts_agree_with_certificates(self, results,
+                                                   certificates):
+        report = results["server"]["issuers"]
+        assert report.leaf_count == \
+            len(certificates.leaf_certificates())
+
+    def test_expired_domains_fail_validation(self, results):
+        survey = results["server"]["survey"]
+        expired_domains = {row.domain for row in results["server"]["expired"]}
+        failing = {fqdn for fqdn, report in survey.reports.items()
+                   if report.expired}
+        from repro.x509.names import second_level_domain
+        assert expired_domains <= {second_level_domain(f) for f in failing}
+
+    def test_netflix_rows_consistent_with_ct_report(self, results):
+        ct_report = results["server"]["ct"]
+        netflix_points = [p for p in ct_report.points
+                          if p.issuer == "Netflix"]
+        assert netflix_points
+        assert not any(p.in_ct for p in netflix_points)
+
+    def test_sld_stats_match_rows(self, results):
+        stats = results["server"]["sld_stats"]
+        rows = results["server"]["slds"]
+        assert stats["sld_count"] == len(rows)
+        assert stats["max_devices"] == max(r.device_count for r in rows)
+
+
+class TestTableRendering:
+    def test_percent(self):
+        assert percent(0.4726) == "47.26%"
+        assert percent(1.0, digits=0) == "100%"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbb"], [["x", 1], ["yy", 22]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_render_cdf(self):
+        cdf = render_cdf([0.0, 0.5, 1.0])
+        assert cdf[0.0] == pytest.approx(1 / 3)
+        assert cdf[1.0] == 1.0
+        assert render_cdf([])[0.5] == 0.0
+
+    def test_truncate_fp_stable(self):
+        fp = (0x0303, (1, 2), (3,))
+        assert truncate_fp(fp) == truncate_fp(fp)
+        assert len(truncate_fp(fp)) == 12

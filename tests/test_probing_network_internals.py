@@ -1,0 +1,134 @@
+"""Deeper tests of the simulated network's construction internals."""
+
+import pytest
+
+from repro.core.issuers import leaf_issuer_org
+from repro.inspector.timeline import CAPTURE_END, PROBE_TIME, WORLD_EPOCH
+from repro.probing.network import REGIONS, SimulatedNetwork
+from repro.study import Study
+
+
+class TestEndpointConstruction:
+    def test_every_region_materialized(self, study, network):
+        endpoint = network.endpoint(study.world.servers[0].fqdn)
+        assert set(endpoint.chains) == set(REGIONS)
+        assert set(endpoint.leaves) == set(REGIONS)
+
+    def test_chain_kind_leaf_only(self, study, network):
+        spec = next(s for s in study.world.servers
+                    if s.chain == "leaf_only")
+        chain = network.endpoint(spec.fqdn).chain("us")
+        assert len(chain) == 1
+
+    def test_chain_kind_duplicate_leaf(self, study, network):
+        spec = next(s for s in study.world.servers
+                    if s.chain == "duplicate_leaf")
+        chain = network.endpoint(spec.fqdn).chain("us")
+        assert len(chain) == 2
+        assert chain[0].fingerprint() == chain[1].fingerprint()
+
+    def test_chain_kind_with_root_ends_self_signed(self, study, network):
+        spec = next(s for s in study.world.servers
+                    if s.chain == "with_root")
+        chain = network.endpoint(spec.fqdn).chain("us")
+        assert chain[-1].is_self_signed()
+
+    def test_chain_kind_self_signed(self, study, network):
+        spec = next(s for s in study.world.servers
+                    if s.chain == "self_signed")
+        chain = network.endpoint(spec.fqdn).chain("us")
+        assert len(chain) == 1
+        assert chain[0].is_self_signed()
+
+    def test_no_intermediate_kind_skips_intermediate(self, study, network):
+        spec = next(s for s in study.world.servers
+                    if s.chain == "no_intermediate")
+        chain = network.endpoint(spec.fqdn).chain("us")
+        leaf = chain[0]
+        # None of the presented certs signed the leaf.
+        assert not any(c.public_key.verifies(leaf.tbs_der, leaf.signature)
+                       for c in chain[1:])
+
+    def test_issuer_org_matches_spec(self, study, network):
+        for spec in study.world.reachable_servers()[::43]:
+            if spec.chain == "self_signed":
+                continue
+            leaf = network.endpoint(spec.fqdn).leaf("us")
+            org = leaf_issuer_org(leaf)
+            expected = "Netflix" if spec.issuer == \
+                "Netflix Public SHA2 RSA CA 3" else spec.issuer
+            assert org == expected, spec.fqdn
+
+    def test_validity_overrides_applied(self, study, network):
+        spec = next(s for s in study.world.servers
+                    if s.validity_days == 36500)
+        leaf = network.endpoint(spec.fqdn).leaf("us")
+        assert leaf.validity_days == pytest.approx(36500)
+
+    def test_long_lived_certs_predate_capture(self, study, network):
+        spec = next(s for s in study.world.servers
+                    if (s.validity_days or 0) >= 3000
+                    and s.chain != "self_signed")
+        leaf = network.endpoint(spec.fqdn).leaf("us")
+        assert leaf.not_before < CAPTURE_END
+        assert leaf.not_before >= WORLD_EPOCH
+
+    def test_short_lived_certs_valid_at_probe(self, study, network):
+        for spec in study.world.reachable_servers()[::37]:
+            if spec.expired_not_after or (spec.validity_days or 0) >= 3000:
+                continue
+            leaf = network.endpoint(spec.fqdn).leaf("us")
+            assert leaf.is_time_valid(PROBE_TIME), spec.fqdn
+
+    def test_expired_spec_expired_at_probe(self, study, network):
+        spec = next(s for s in study.world.servers if s.expired_not_after)
+        leaf = network.endpoint(spec.fqdn).leaf("us")
+        assert leaf.is_expired(PROBE_TIME)
+
+
+class TestCTSubmissionRules:
+    def test_ct_absent_specs_not_logged(self, study, network):
+        for spec in study.world.servers:
+            if spec.ct_absent:
+                leaf = network.endpoint(spec.fqdn).leaf("us")
+                assert not network.ct_logs.query(leaf), spec.fqdn
+
+    def test_public_ok_specs_logged(self, study, network):
+        checked = 0
+        for spec in study.world.reachable_servers():
+            if spec.ct_absent or spec.chain == "self_signed":
+                continue
+            if spec.issuer in study.ecosystem.public:
+                leaf = network.endpoint(spec.fqdn).leaf("us")
+                assert network.ct_logs.query(leaf), spec.fqdn
+                checked += 1
+            if checked > 80:
+                break
+        assert checked > 50
+
+    def test_private_specs_never_logged(self, study, network):
+        for spec in study.world.servers:
+            if spec.issuer in study.ecosystem.private \
+                    or spec.issuer == "Netflix Public SHA2 RSA CA 3":
+                leaf = network.endpoint(spec.fqdn).leaf("us")
+                assert not network.ct_logs.query(leaf), spec.fqdn
+
+
+class TestDeterminism:
+    def test_rebuild_identical_certificates(self, study):
+        rebuilt = SimulatedNetwork(study.world)
+        sample = [s.fqdn for s in study.world.servers[::151]]
+        for fqdn in sample:
+            original = study.network.endpoint(fqdn)
+            clone = rebuilt.endpoint(fqdn)
+            for region in REGIONS:
+                assert original.leaf(region).serial == \
+                    clone.leaf(region).serial
+                assert original.leaf(region).subject == \
+                    clone.leaf(region).subject
+
+    def test_ip_assignment_deterministic(self, study):
+        rebuilt = SimulatedNetwork(study.world)
+        for fqdn in [s.fqdn for s in study.world.servers[::97]]:
+            assert study.network.endpoint(fqdn).ips == \
+                rebuilt.endpoint(fqdn).ips

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.sharing import jaccard
+from repro.tlslib.clienthello import ClientHello
+from repro.tlslib.record import ContentType, decode_records, encode_records
+from repro.tlslib.versions import TLSVersion
+from repro.x509 import asn1
+
+SLOW = settings(deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+wire_code = st.integers(min_value=0, max_value=0xFFFF)
+ext_code = st.integers(min_value=1, max_value=0xFFFE).filter(lambda c: c != 0)
+hostname = st.from_regex(r"[a-z]{1,10}(\.[a-z]{1,10}){1,3}", fullmatch=True)
+
+
+class TestClientHelloRoundTrip:
+    @SLOW
+    @given(
+        version=st.sampled_from(list(TLSVersion)),
+        suites=st.lists(wire_code, min_size=1, max_size=80),
+        extensions=st.lists(ext_code, max_size=20),
+        sni=st.one_of(st.none(), hostname),
+        random_bytes=st.binary(min_size=32, max_size=32),
+        session_id=st.binary(max_size=16),
+    )
+    def test_roundtrip(self, version, suites, extensions, sni,
+                       random_bytes, session_id):
+        hello = ClientHello(version=version, ciphersuites=suites,
+                            extensions=extensions, sni=sni,
+                            random=random_bytes, session_id=session_id)
+        parsed = ClientHello.from_bytes(hello.to_bytes())
+        assert parsed.version == hello.version
+        assert parsed.ciphersuites == list(hello.ciphersuites)
+        assert parsed.extensions == list(hello.extensions)
+        assert parsed.sni == hello.sni
+        assert parsed.session_id == session_id
+
+    @SLOW
+    @given(payload=st.binary(max_size=40000),
+           version=st.sampled_from(list(TLSVersion)))
+    def test_record_layer_roundtrip(self, payload, version):
+        wire = encode_records(ContentType.APPLICATION_DATA, version, payload)
+        records = decode_records(wire)
+        assert b"".join(r.payload for r in records) == payload
+
+
+class TestDERProperties:
+    @SLOW
+    @given(value=st.integers(min_value=-(2 ** 256), max_value=2 ** 256))
+    def test_integer_roundtrip(self, value):
+        assert asn1.decode(asn1.encode_integer(value)).as_integer() == value
+
+    @SLOW
+    @given(data=st.binary(max_size=2000))
+    def test_octet_string_roundtrip(self, data):
+        node = asn1.decode(asn1.encode_octet_string(data))
+        assert node.as_octet_string() == data
+
+    @SLOW
+    @given(arcs=st.lists(st.integers(min_value=0, max_value=2 ** 28),
+                         min_size=1, max_size=8))
+    def test_oid_roundtrip(self, arcs):
+        dotted = ".".join(str(a) for a in [1, 3] + arcs)
+        assert asn1.decode(asn1.encode_oid(dotted)).as_oid() == dotted
+
+    @SLOW
+    @given(values=st.lists(st.integers(min_value=0, max_value=255),
+                           max_size=6))
+    def test_sequence_roundtrip(self, values):
+        blob = asn1.encode_sequence(*[asn1.encode_integer(v)
+                                      for v in values])
+        node = asn1.decode(blob)
+        assert [child.as_integer() for child in node] == values
+
+    @SLOW
+    @given(junk=st.binary(min_size=1, max_size=64))
+    def test_decode_never_crashes_unexpectedly(self, junk):
+        # Arbitrary bytes either decode or raise DERDecodeError — nothing
+        # else may escape.
+        from repro.x509.errors import DERDecodeError
+        try:
+            asn1.decode(junk)
+        except DERDecodeError:
+            pass
+
+
+class TestJaccardProperties:
+    sets = st.sets(st.integers(min_value=0, max_value=50), max_size=20)
+
+    @SLOW
+    @given(a=sets, b=sets)
+    def test_bounds(self, a, b):
+        value = jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+
+    @SLOW
+    @given(a=sets, b=sets)
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+
+    @SLOW
+    @given(a=sets)
+    def test_identity(self, a):
+        assert jaccard(a, a) == (1.0 if a else 0.0)
+
+    @SLOW
+    @given(a=sets, b=sets)
+    def test_one_iff_equal(self, a, b):
+        if jaccard(a, b) == 1.0:
+            assert a == b
+
+
+class TestStackDerivationProperties:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16),
+           hygiene=st.floats(min_value=0.0, max_value=1.0),
+           mutation=st.sampled_from(["extensions", "reorder", "component",
+                                     "similar", "custom"]))
+    def test_derived_stack_invariants(self, seed, hygiene, mutation):
+        from repro.inspector.stacks import StackFactory
+        from repro.libraries import openssl
+        from repro.tlslib.versions import TLSVersion as V
+        base = openssl.fingerprint_for("1.0.1u")
+        stack = StackFactory(seed=seed).derive(
+            base, "prop", mutation=mutation, hygiene=hygiene,
+            scope=(seed,))
+        assert stack.ciphersuites, "suite list never empty"
+        assert len(set(stack.ciphersuites)) == len(stack.ciphersuites), \
+            "no duplicate suites"
+        assert stack.tls_version != V.TLS_1_3, "no TLS 1.3 in the study era"
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=2 ** 16))
+    def test_derivation_deterministic(self, seed):
+        from repro.inspector.stacks import StackFactory
+        from repro.libraries import mbedtls
+        base = mbedtls.fingerprint_for("2.16.4")
+        one = StackFactory(seed=seed).derive(base, "p", mutation="custom",
+                                             scope=("s",))
+        two = StackFactory(seed=seed).derive(base, "p", mutation="custom",
+                                             scope=("s",))
+        assert one.ciphersuites == two.ciphersuites
+        assert one.extensions == two.extensions
+
+
+class TestCTProperties:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(count=st.integers(min_value=1, max_value=12),
+           index=st.integers(min_value=0, max_value=11))
+    def test_inclusion_proofs(self, count, index):
+        from repro.x509.certificate import sign_certificate
+        from repro.x509.ct import CTLog
+        from repro.x509.keys import generate_keypair
+        from repro.x509.names import DistinguishedName
+        index = index % count
+        key = generate_keypair(512, rng=random.Random(1))
+        issuer = DistinguishedName(common_name="Prop CA")
+        log = CTLog("prop")
+        certs = []
+        for i in range(count):
+            cert = sign_certificate(
+                serial=i + 1,
+                subject=DistinguishedName(common_name=f"h{i}.example"),
+                issuer=issuer, issuer_keypair=key, not_before=0,
+                not_after=86400, public_key=key.public)
+            log.submit(cert)
+            certs.append(cert)
+        proof = log.prove_inclusion(certs[index])
+        assert log.verify_inclusion(certs[index], proof)
+        # And the proof never verifies a different certificate.
+        other = certs[(index + 1) % count]
+        if other.fingerprint() != certs[index].fingerprint():
+            assert not log.verify_inclusion(other, proof)
+
+
+class TestDoCProperties:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_doc_in_unit_interval(self, data):
+        from repro.core.customization import doc_device, doc_vendor
+        from repro.inspector.dataset import InspectorDataset
+        from tests.conftest import make_record
+        n = data.draw(st.integers(min_value=1, max_value=12))
+        records = []
+        for i in range(n):
+            vendor = data.draw(st.sampled_from(["V1", "V2", "V3"]))
+            device = f"{vendor}-d{data.draw(st.integers(0, 3))}"
+            suites = tuple(sorted(data.draw(
+                st.sets(st.sampled_from([0x2F, 0x35, 0x0A, 0xC02F]),
+                        min_size=1, max_size=3))))
+            records.append(make_record(device=device, vendor=vendor,
+                                       suites=suites))
+        ds = InspectorDataset(records)
+        for vendor in ds.vendor_names():
+            assert 0.0 <= doc_vendor(ds, vendor) <= 1.0
+        for device in ds.device_ids():
+            assert 0.0 <= doc_device(ds, device) <= 1.0

@@ -1,0 +1,82 @@
+"""Property-based tests for host matching and version ordering."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.libraries.base import version_sort_key
+from repro.x509.names import hostname_matches, second_level_domain
+
+SLOW = settings(deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+label = st.from_regex(r"[a-z]([a-z0-9-]{0,8}[a-z0-9])?", fullmatch=True)
+hostname = st.builds(lambda parts: ".".join(parts),
+                     st.lists(label, min_size=2, max_size=5))
+
+
+class TestHostnameProperties:
+    @SLOW
+    @given(host=hostname)
+    def test_exact_match_reflexive(self, host):
+        assert hostname_matches(host, host)
+
+    @SLOW
+    @given(host=hostname)
+    def test_case_insensitive(self, host):
+        assert hostname_matches(host.upper(), host)
+
+    @SLOW
+    @given(host=hostname, extra=label)
+    def test_wildcard_matches_exactly_one_label(self, host, extra):
+        if host.count(".") < 2:
+            return
+        pattern = "*." + host.split(".", 1)[1]
+        assert hostname_matches(pattern, host)
+        # One extra label breaks the match.
+        assert not hostname_matches(pattern, f"{extra}.{host}")
+
+    @SLOW
+    @given(host=hostname)
+    def test_wildcard_never_matches_bare_domain(self, host):
+        pattern = f"*.{host}"
+        assert not hostname_matches(pattern, host)
+
+    @SLOW
+    @given(host=hostname)
+    def test_sld_is_suffix(self, host):
+        sld = second_level_domain(host)
+        assert host.lower().endswith(sld)
+        assert 1 <= sld.count(".") <= 2
+
+
+class TestVersionOrderingProperties:
+    version = st.builds(
+        lambda a, b, c, letter: f"{a}.{b}.{c}{letter}",
+        st.integers(0, 9), st.integers(0, 20), st.integers(0, 30),
+        st.sampled_from(["", "a", "b", "m", "u"]))
+
+    @SLOW
+    @given(v=version)
+    def test_reflexive(self, v):
+        assert version_sort_key(v) == version_sort_key(v)
+
+    @SLOW
+    @given(vs=st.lists(version, min_size=2, max_size=8))
+    def test_total_order_consistent(self, vs):
+        ordered = sorted(vs, key=version_sort_key)
+        # Sorting is stable and idempotent under the key.
+        assert sorted(ordered, key=version_sort_key) == ordered
+
+    @SLOW
+    @given(a=st.integers(0, 50), b=st.integers(0, 50))
+    def test_numeric_not_lexical(self, a, b):
+        if a == b:
+            return
+        smaller, larger = sorted((a, b))
+        assert version_sort_key(f"1.{smaller}.0") < \
+            version_sort_key(f"1.{larger}.0")
+
+    @SLOW
+    @given(letter=st.sampled_from("abcdefg"))
+    def test_patch_letter_after_base(self, letter):
+        assert version_sort_key("1.0.2") < version_sort_key(f"1.0.2{letter}")

@@ -1,0 +1,97 @@
+"""Tests for the TLS alert protocol, including the end-to-end path."""
+
+import pytest
+
+from repro.inspector.timeline import CAPTURE_END
+from repro.tlslib.alerts import (
+    Alert,
+    AlertDescription,
+    AlertLevel,
+    extract_alert,
+)
+from repro.tlslib.clienthello import ClientHello
+from repro.tlslib.errors import TLSHandshakeError, TLSParseError
+from repro.tlslib.handshake import TLSClient
+from repro.tlslib.record import decode_records
+from repro.tlslib.versions import TLSVersion
+
+
+class TestAlertCodec:
+    def test_roundtrip(self):
+        alert = Alert(AlertLevel.FATAL, AlertDescription.PROTOCOL_VERSION)
+        assert Alert.from_bytes(alert.to_bytes()) == alert
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(TLSParseError):
+            Alert.from_bytes(b"\x02")
+        with pytest.raises(TLSParseError):
+            Alert.from_bytes(b"\x02\x28\x00")
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(TLSParseError):
+            Alert.from_bytes(b"\x02\xfe")
+
+    def test_record_roundtrip(self):
+        alert = Alert.fatal(AlertDescription.HANDSHAKE_FAILURE)
+        records = decode_records(alert.to_record_bytes(TLSVersion.TLS_1_0))
+        assert extract_alert(records) == alert
+
+    def test_extract_none_when_absent(self):
+        from repro.tlslib.record import ContentType, encode_records
+        records = decode_records(encode_records(
+            ContentType.HANDSHAKE, TLSVersion.TLS_1_2, b"x"))
+        assert extract_alert(records) is None
+
+    def test_snake_names(self):
+        assert AlertDescription.PROTOCOL_VERSION.snake_name == \
+            "protocol_version"
+        assert AlertDescription.from_snake_name("protocol_version") is \
+            AlertDescription.PROTOCOL_VERSION
+        # Unknown names degrade to the generic failure.
+        assert AlertDescription.from_snake_name("no_such_alert") is \
+            AlertDescription.HANDSHAKE_FAILURE
+
+
+class TestEndToEndAlerts:
+    def test_ssl3_client_gets_protocol_version_alert(self, study, network):
+        spec = study.world.reachable_servers()[0]
+        hello = ClientHello(version=TLSVersion.SSL_3_0,
+                            ciphersuites=[0x0035, 0x002F],
+                            extensions=[0], sni=spec.fqdn)
+        client = TLSClient()
+        flight = network.connect(spec.fqdn, client.first_flight(hello),
+                                 at=CAPTURE_END)
+        with pytest.raises(TLSHandshakeError) as err:
+            client.read_server_flight(hello, flight)
+        assert err.value.alert == "protocol_version"
+
+    def test_no_common_suite_gets_handshake_failure(self, study, network):
+        spec = study.world.reachable_servers()[0]
+        hello = ClientHello(version=TLSVersion.TLS_1_2,
+                            ciphersuites=[0x1301],  # TLS 1.3-only suite
+                            extensions=[0], sni=spec.fqdn)
+        client = TLSClient()
+        flight = network.connect(spec.fqdn, client.first_flight(hello),
+                                 at=CAPTURE_END)
+        with pytest.raises(TLSHandshakeError) as err:
+            client.read_server_flight(hello, flight)
+        assert err.value.alert == "handshake_failure"
+
+    def test_prober_records_alert_as_error(self, study, network):
+        from repro.probing.prober import Prober
+        from repro.probing.vantage import VANTAGE_POINTS
+        prober = Prober(network)
+        # Cripple the prober's hello to force an alert.
+        original = prober._hello
+
+        def ssl3_hello(sni):
+            hello = original(sni)
+            hello.version = TLSVersion.SSL_3_0
+            return hello
+
+        prober._hello = ssl3_hello
+        result = prober.probe_one(study.world.reachable_servers()[0].fqdn,
+                                  VANTAGE_POINTS[0], at=CAPTURE_END)
+        assert result.reachable
+        assert result.leaf is None
+        assert "protocol_version" in result.error

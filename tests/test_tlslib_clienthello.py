@@ -1,0 +1,113 @@
+"""Unit tests for ClientHello wire encoding and parsing."""
+
+import pytest
+
+from repro.tlslib.clienthello import ClientHello
+from repro.tlslib.errors import TLSParseError
+from repro.tlslib.extensions import ExtensionType
+from repro.tlslib.versions import TLSVersion
+
+
+def hello(**kwargs):
+    defaults = dict(version=TLSVersion.TLS_1_2,
+                    ciphersuites=[0xC02F, 0x009C, 0x000A],
+                    extensions=[0, 10, 11, 13],
+                    sni="device.vendor.com",
+                    random=bytes(range(32)))
+    defaults.update(kwargs)
+    return ClientHello(**defaults)
+
+
+class TestConstruction:
+    def test_random_generated_when_missing(self):
+        built = ClientHello(version=TLSVersion.TLS_1_2,
+                            ciphersuites=[0xC02F])
+        assert len(built.random) == 32
+
+    def test_bad_random_length_rejected(self):
+        with pytest.raises(ValueError):
+            ClientHello(version=TLSVersion.TLS_1_2, ciphersuites=[0xC02F],
+                        random=b"short")
+
+    def test_sni_implies_server_name_extension(self):
+        built = ClientHello(version=TLSVersion.TLS_1_2,
+                            ciphersuites=[0xC02F], extensions=[10],
+                            sni="a.b.com")
+        assert built.extensions[0] == int(ExtensionType.SERVER_NAME)
+
+    def test_grease_accessors(self):
+        built = hello(ciphersuites=[0x0A0A, 0xC02F],
+                      extensions=[0, 0x0A0A, 10])
+        assert built.uses_grease_suites
+        assert built.uses_grease_extensions
+        assert built.suites_without_grease() == [0xC02F]
+        assert 0x0A0A not in built.extensions_without_grease()
+
+
+class TestRoundTrip:
+    def test_basic_roundtrip(self):
+        original = hello()
+        parsed = ClientHello.from_bytes(original.to_bytes())
+        assert parsed.version == original.version
+        assert parsed.ciphersuites == list(original.ciphersuites)
+        assert parsed.extensions == list(original.extensions)
+        assert parsed.sni == original.sni
+        assert parsed.random == original.random
+
+    def test_roundtrip_without_extensions(self):
+        original = hello(extensions=[], sni=None)
+        parsed = ClientHello.from_bytes(original.to_bytes())
+        assert parsed.extensions == []
+        assert parsed.sni is None
+
+    def test_roundtrip_with_session_id(self):
+        original = hello(session_id=b"\x01\x02\x03")
+        parsed = ClientHello.from_bytes(original.to_bytes())
+        assert parsed.session_id == b"\x01\x02\x03"
+
+    def test_roundtrip_all_versions(self):
+        for version in TLSVersion:
+            parsed = ClientHello.from_bytes(hello(version=version).to_bytes())
+            assert parsed.version == version
+
+    def test_large_suite_list(self):
+        suites = list(range(0x0001, 0x0100, 3))
+        parsed = ClientHello.from_bytes(hello(ciphersuites=suites).to_bytes())
+        assert parsed.ciphersuites == suites
+
+    def test_reencode_is_stable(self):
+        wire = hello().to_bytes()
+        assert ClientHello.from_bytes(wire).to_bytes() == wire
+
+
+class TestParseErrors:
+    def test_wrong_message_type(self):
+        wire = bytearray(hello().to_bytes())
+        wire[0] = 0x02  # ServerHello type
+        with pytest.raises(TLSParseError):
+            ClientHello.from_bytes(bytes(wire))
+
+    def test_truncated_body(self):
+        wire = hello().to_bytes()
+        with pytest.raises(TLSParseError):
+            ClientHello.from_bytes(wire[: len(wire) // 2])
+
+    def test_odd_suite_vector(self):
+        original = hello(extensions=[], sni=None)
+        wire = bytearray(original.to_bytes())
+        # Grow the declared suite-vector length by one byte.
+        offset = 4 + 2 + 32 + 1  # type+len, version, random, empty sid
+        length = int.from_bytes(wire[offset:offset + 2], "big")
+        wire[offset:offset + 2] = (length + 1).to_bytes(2, "big")
+        with pytest.raises(TLSParseError):
+            ClientHello.from_bytes(bytes(wire))
+
+    def test_unknown_version_rejected(self):
+        wire = bytearray(hello().to_bytes())
+        wire[4:6] = (0x0909).to_bytes(2, "big")
+        with pytest.raises(TLSParseError):
+            ClientHello.from_bytes(bytes(wire))
+
+    def test_empty_input(self):
+        with pytest.raises(TLSParseError):
+            ClientHello.from_bytes(b"")

@@ -1,0 +1,45 @@
+"""Unit tests for GREASE handling."""
+
+from repro.tlslib.grease import (
+    GREASE_VALUES,
+    contains_grease,
+    is_grease,
+    strip_grease,
+)
+
+
+class TestGreaseValues:
+    def test_sixteen_values(self):
+        assert len(GREASE_VALUES) == 16
+
+    def test_rfc_pattern(self):
+        # Every GREASE value has the 0xRaRa pattern with equal bytes.
+        for value in GREASE_VALUES:
+            high, low = value >> 8, value & 0xFF
+            assert high == low
+            assert high & 0x0F == 0x0A
+
+    def test_known_members(self):
+        assert 0x0A0A in GREASE_VALUES
+        assert 0xFAFA in GREASE_VALUES
+        assert 0x5A5A in GREASE_VALUES
+
+    def test_is_grease(self):
+        assert is_grease(0x2A2A)
+        assert not is_grease(0xC02F)
+        assert not is_grease(0x0A0B)
+
+
+class TestHelpers:
+    def test_strip_preserves_order(self):
+        codes = [0x0A0A, 0xC02F, 0x1A1A, 0x009C]
+        assert strip_grease(codes) == [0xC02F, 0x009C]
+
+    def test_strip_on_clean_list(self):
+        codes = [0xC02F, 0x009C]
+        assert strip_grease(codes) == codes
+
+    def test_contains(self):
+        assert contains_grease([0xC02F, 0xBABA])
+        assert not contains_grease([0xC02F, 0x009C])
+        assert not contains_grease([])

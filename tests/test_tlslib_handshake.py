@@ -1,0 +1,153 @@
+"""Unit tests for the client/server handshake machinery."""
+
+import pytest
+
+from repro.tlslib.ciphersuites import FALLBACK_SCSV
+from repro.tlslib.clienthello import ClientHello
+from repro.tlslib.errors import TLSHandshakeError, TLSParseError
+from repro.tlslib.handshake import ServerConfig, TLSClient, TLSServer
+from repro.tlslib.serverhello import CertificateMessage, ServerHello
+from repro.tlslib.versions import TLSVersion
+
+
+def make_server(versions=(TLSVersion.TLS_1_0, TLSVersion.TLS_1_1,
+                          TLSVersion.TLS_1_2),
+                suites=(0xC02F, 0x009C, 0x0035),
+                chain=(b"leaf-der", b"intermediate-der"),
+                prefer_client_order=True):
+    return TLSServer(ServerConfig(
+        supported_versions=frozenset(versions),
+        supported_suites=tuple(suites),
+        chain_provider=lambda _sni: list(chain),
+        prefer_client_order=prefer_client_order))
+
+
+def make_hello(version=TLSVersion.TLS_1_2, suites=(0x009C, 0xC02F),
+               sni="host.example.com"):
+    return ClientHello(version=version, ciphersuites=list(suites),
+                       extensions=[0, 10], sni=sni)
+
+
+class TestNegotiation:
+    def test_full_handshake(self):
+        result = TLSClient().handshake(make_hello(), make_server())
+        assert result.negotiated_version == TLSVersion.TLS_1_2
+        assert result.negotiated_suite.code == 0x009C  # client's first
+        assert result.chain_der == [b"leaf-der", b"intermediate-der"]
+
+    def test_server_preference_order(self):
+        server = make_server(prefer_client_order=False)
+        result = TLSClient().handshake(make_hello(), server)
+        assert result.negotiated_suite.code == 0xC02F  # server's first
+
+    def test_version_downgrade(self):
+        server = make_server(versions=(TLSVersion.TLS_1_0,
+                                       TLSVersion.TLS_1_1))
+        result = TLSClient().handshake(make_hello(), server)
+        assert result.negotiated_version == TLSVersion.TLS_1_1
+
+    def test_no_common_version(self):
+        server = make_server(versions=(TLSVersion.TLS_1_2,))
+        with pytest.raises(TLSHandshakeError) as err:
+            TLSClient().handshake(make_hello(version=TLSVersion.TLS_1_0),
+                                  server)
+        assert err.value.alert == "protocol_version"
+
+    def test_no_common_suite(self):
+        server = make_server(suites=(0x1301,))
+        with pytest.raises(TLSHandshakeError) as err:
+            TLSClient().handshake(make_hello(), server)
+        assert err.value.alert == "handshake_failure"
+
+    def test_grease_and_scsv_never_negotiated(self):
+        server = make_server(suites=(0x0A0A, FALLBACK_SCSV, 0xC02F))
+        result = TLSClient().handshake(
+            make_hello(suites=(0x0A0A, FALLBACK_SCSV, 0xC02F)), server)
+        assert result.negotiated_suite.code == 0xC02F
+
+    def test_sni_reaches_chain_provider(self):
+        seen = []
+
+        def provider(sni):
+            seen.append(sni)
+            return [b"leaf"]
+
+        server = TLSServer(ServerConfig(
+            supported_versions=frozenset({TLSVersion.TLS_1_2}),
+            supported_suites=(0xC02F,), chain_provider=provider))
+        TLSClient().handshake(make_hello(sni="picky.host.net"), server)
+        assert seen == ["picky.host.net"]
+
+
+class TestWireDiscipline:
+    def test_record_version_pinned_to_tls10(self):
+        flight = TLSClient().first_flight(make_hello())
+        # Record header: type(1) + version(2); initial flights use TLS 1.0.
+        assert flight[1:3] == bytes([0x03, 0x01])
+
+    def test_ssl3_client_uses_ssl3_records(self):
+        flight = TLSClient().first_flight(
+            make_hello(version=TLSVersion.SSL_3_0))
+        assert flight[1:3] == bytes([0x03, 0x00])
+
+    def test_server_rejects_garbage(self):
+        with pytest.raises(TLSParseError):
+            make_server().handle(b"\x00" * 32)
+
+    def test_server_rejects_flight_without_hello(self):
+        from repro.tlslib.record import ContentType, encode_records
+        hello_less = ServerHello(version=TLSVersion.TLS_1_2,
+                                 ciphersuite=0xC02F).to_bytes()
+        wire = encode_records(ContentType.HANDSHAKE, TLSVersion.TLS_1_2,
+                              hello_less)
+        with pytest.raises(TLSParseError):
+            make_server().handle(wire)
+
+    def test_client_rejects_unoffered_suite(self):
+        from repro.tlslib.record import ContentType, encode_records
+        hello = make_hello(suites=(0xC02F,))
+        rogue = ServerHello(version=TLSVersion.TLS_1_2, ciphersuite=0x0005)
+        payload = rogue.to_bytes() + CertificateMessage([b"x"]).to_bytes()
+        wire = encode_records(ContentType.HANDSHAKE, TLSVersion.TLS_1_2,
+                              payload)
+        with pytest.raises(TLSHandshakeError) as err:
+            TLSClient().read_server_flight(hello, wire)
+        assert err.value.alert == "illegal_parameter"
+
+    def test_client_requires_server_hello(self):
+        from repro.tlslib.record import ContentType, encode_records
+        payload = CertificateMessage([b"x"]).to_bytes()
+        wire = encode_records(ContentType.HANDSHAKE, TLSVersion.TLS_1_2,
+                              payload)
+        with pytest.raises(TLSHandshakeError):
+            TLSClient().read_server_flight(make_hello(), wire)
+
+
+class TestServerHelloMessages:
+    def test_serverhello_roundtrip(self):
+        original = ServerHello(version=TLSVersion.TLS_1_1,
+                               ciphersuite=0x0035, session_id=b"sid")
+        parsed = ServerHello.from_bytes(original.to_bytes())
+        assert parsed.version == TLSVersion.TLS_1_1
+        assert parsed.ciphersuite == 0x0035
+        assert parsed.session_id == b"sid"
+        assert parsed.random == original.random
+
+    def test_certificate_roundtrip(self):
+        chains = [[], [b"one"], [b"leaf", b"mid", b"root"]]
+        for chain in chains:
+            parsed = CertificateMessage.from_bytes(
+                CertificateMessage(chain).to_bytes())
+            assert parsed.chain_der == chain
+
+    def test_serverhello_truncation(self):
+        wire = ServerHello(version=TLSVersion.TLS_1_2,
+                           ciphersuite=0xC02F).to_bytes()
+        with pytest.raises(TLSParseError):
+            ServerHello.from_bytes(wire[:10])
+
+    def test_certificate_wrong_type(self):
+        wire = ServerHello(version=TLSVersion.TLS_1_2,
+                           ciphersuite=0xC02F).to_bytes()
+        with pytest.raises(TLSParseError):
+            CertificateMessage.from_bytes(wire)

@@ -1,0 +1,78 @@
+"""Unit tests for JA3-style fingerprint hashing."""
+
+from repro.tlslib.clienthello import ClientHello
+from repro.tlslib.ja3 import (
+    compare_corpora,
+    dataset_ja3_index,
+    ja3_from_hello,
+    ja3_from_record,
+    ja3_hash,
+    ja3_string,
+)
+from repro.tlslib.versions import TLSVersion
+from tests.conftest import make_record
+
+
+class TestJA3String:
+    def test_canonical_format(self):
+        text = ja3_string(TLSVersion.TLS_1_2, [0xC02F, 0x009C], [0, 10],
+                          curves=(29, 23), point_formats=(0,))
+        assert text == "771,49199-156,0-10,29-23,0"
+
+    def test_grease_stripped(self):
+        with_grease = ja3_string(TLSVersion.TLS_1_2,
+                                 [0x0A0A, 0xC02F], [0x1A1A, 0])
+        without = ja3_string(TLSVersion.TLS_1_2, [0xC02F], [0])
+        assert with_grease == without
+
+    def test_empty_fields_degrade(self):
+        text = ja3_string(TLSVersion.TLS_1_0, [5], [])
+        assert text == "769,5,,,"
+
+
+class TestJA3Hash:
+    def test_md5_hex(self):
+        digest = ja3_hash(TLSVersion.TLS_1_2, [0xC02F], [0])
+        assert len(digest) == 32
+        assert all(c in "0123456789abcdef" for c in digest)
+
+    def test_order_sensitive(self):
+        a = ja3_hash(TLSVersion.TLS_1_2, [1, 2], [0])
+        b = ja3_hash(TLSVersion.TLS_1_2, [2, 1], [0])
+        assert a != b
+
+    def test_version_sensitive(self):
+        a = ja3_hash(TLSVersion.TLS_1_2, [1], [0])
+        b = ja3_hash(TLSVersion.TLS_1_0, [1], [0])
+        assert a != b
+
+    def test_hello_and_record_agree(self):
+        hello = ClientHello(version=TLSVersion.TLS_1_2,
+                            ciphersuites=[0xC02F, 0x009C],
+                            extensions=[0, 10], sni="h.example")
+        record = make_record(version=TLSVersion.TLS_1_2,
+                             suites=(0xC02F, 0x009C), extensions=(0, 10))
+        assert ja3_from_hello(hello) == ja3_from_record(record)
+
+
+class TestDatasetReduction:
+    def test_grease_variants_collapse(self):
+        records = [
+            make_record(device="d1", suites=(0x0A0A, 0xC02F),
+                        extensions=(0x0A0A, 0, 10)),
+            make_record(device="d2", suites=(0x3A3A, 0xC02F),
+                        extensions=(0x3A3A, 0, 10)),
+        ]
+        from repro.inspector.dataset import InspectorDataset
+        ds = InspectorDataset(records)
+        index = dataset_ja3_index(ds)
+        assert ds.fingerprint_count == 2
+        assert len(index) == 1   # identical once GREASE is stripped
+
+    def test_full_study_reduction(self, dataset):
+        summary = compare_corpora(dataset)
+        assert summary["ja3_fingerprints"] <= summary["tuple_fingerprints"]
+        # GREASE-bearing stacks use a random value per build, so some
+        # reduction must occur in the full study.
+        assert summary["ja3_with_multiple_tuples"] >= 0
+        assert 0.0 <= summary["reduction"] < 0.5

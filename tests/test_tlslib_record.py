@@ -1,0 +1,94 @@
+"""Unit tests for the TLS record layer."""
+
+import pytest
+
+from repro.tlslib.errors import TLSParseError
+from repro.tlslib.record import (
+    MAX_FRAGMENT_LENGTH,
+    ContentType,
+    Record,
+    decode_records,
+    encode_records,
+    iter_handshake_messages,
+    reassemble_handshake,
+)
+from repro.tlslib.versions import TLSVersion
+
+
+class TestRecord:
+    def test_roundtrip_single(self):
+        record = Record(ContentType.HANDSHAKE, TLSVersion.TLS_1_2, b"hello")
+        decoded = decode_records(record.to_bytes())
+        assert decoded == [record]
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Record(ContentType.HANDSHAKE, TLSVersion.TLS_1_2,
+                   b"x" * (MAX_FRAGMENT_LENGTH + 1))
+
+    def test_repr_mentions_type(self):
+        record = Record(ContentType.ALERT, TLSVersion.TLS_1_0, b"")
+        assert "ALERT" in repr(record)
+
+
+class TestEncodeDecode:
+    def test_fragmentation(self):
+        payload = b"a" * (MAX_FRAGMENT_LENGTH + 100)
+        wire = encode_records(ContentType.HANDSHAKE, TLSVersion.TLS_1_2,
+                              payload)
+        records = decode_records(wire)
+        assert len(records) == 2
+        assert reassemble_handshake(records) == payload
+
+    def test_empty_payload_one_record(self):
+        wire = encode_records(ContentType.HANDSHAKE, TLSVersion.TLS_1_2, b"")
+        records = decode_records(wire)
+        assert len(records) == 1
+        assert records[0].payload == b""
+
+    def test_multiple_content_types(self):
+        wire = (encode_records(ContentType.HANDSHAKE, TLSVersion.TLS_1_2,
+                               b"hs")
+                + encode_records(ContentType.ALERT, TLSVersion.TLS_1_2,
+                                 b"\x02\x28"))
+        records = decode_records(wire)
+        assert [r.content_type for r in records] == [ContentType.HANDSHAKE,
+                                                     ContentType.ALERT]
+        # Reassembly only collects handshake payloads.
+        assert reassemble_handshake(records) == b"hs"
+
+    def test_truncated_header(self):
+        with pytest.raises(TLSParseError):
+            decode_records(b"\x16\x03")
+
+    def test_truncated_payload(self):
+        wire = encode_records(ContentType.HANDSHAKE, TLSVersion.TLS_1_2,
+                              b"full")
+        with pytest.raises(TLSParseError):
+            decode_records(wire[:-1])
+
+
+class TestHandshakeIteration:
+    @staticmethod
+    def message(msg_type, body):
+        return bytes([msg_type]) + len(body).to_bytes(3, "big") + body
+
+    def test_iterates_messages(self):
+        stream = self.message(1, b"one") + self.message(11, b"two!")
+        parsed = list(iter_handshake_messages(stream))
+        assert [(t, b) for t, b, _full in parsed] == [(1, b"one"),
+                                                      (11, b"two!")]
+
+    def test_full_bytes_include_header(self):
+        stream = self.message(2, b"abc")
+        _t, _b, full = next(iter(iter_handshake_messages(stream)))
+        assert full == stream
+
+    def test_truncated_handshake_body(self):
+        stream = self.message(1, b"one")[:-1]
+        with pytest.raises(TLSParseError):
+            list(iter_handshake_messages(stream))
+
+    def test_truncated_handshake_header(self):
+        with pytest.raises(TLSParseError):
+            list(iter_handshake_messages(b"\x01\x00"))

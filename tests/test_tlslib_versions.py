@@ -1,0 +1,51 @@
+"""Unit tests for TLS version constants."""
+
+import pytest
+
+from repro.tlslib.versions import DEPRECATED_VERSIONS, TLSVersion
+
+
+class TestWireValues:
+    def test_tls12_wire_value(self):
+        assert int(TLSVersion.TLS_1_2) == 0x0303
+
+    def test_ssl3_wire_value(self):
+        assert int(TLSVersion.SSL_3_0) == 0x0300
+
+    def test_major_minor_split(self):
+        assert TLSVersion.TLS_1_2.major == 3
+        assert TLSVersion.TLS_1_2.minor == 3
+        assert TLSVersion.SSL_3_0.minor == 0
+
+    def test_from_wire_roundtrip(self):
+        for version in TLSVersion:
+            assert TLSVersion.from_wire(int(version)) is version
+
+    def test_from_wire_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            TLSVersion.from_wire(0x0305)
+
+
+class TestPrettyNames:
+    def test_pretty(self):
+        assert TLSVersion.TLS_1_2.pretty == "TLS 1.2"
+        assert TLSVersion.SSL_3_0.pretty == "SSL 3.0"
+
+    def test_from_pretty_roundtrip(self):
+        for version in TLSVersion:
+            assert TLSVersion.from_pretty(version.pretty) is version
+
+    def test_from_pretty_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            TLSVersion.from_pretty("TLS 2.0")
+
+
+class TestOrdering:
+    def test_versions_totally_ordered(self):
+        assert TLSVersion.SSL_3_0 < TLSVersion.TLS_1_0 < TLSVersion.TLS_1_1 \
+            < TLSVersion.TLS_1_2 < TLSVersion.TLS_1_3
+
+    def test_deprecated_set(self):
+        assert TLSVersion.TLS_1_2 not in DEPRECATED_VERSIONS
+        assert TLSVersion.SSL_3_0 in DEPRECATED_VERSIONS
+        assert TLSVersion.TLS_1_0 in DEPRECATED_VERSIONS

@@ -1,0 +1,126 @@
+"""Unit tests for the miniature ACME implementation."""
+
+import random
+
+import pytest
+
+from repro.x509.acme import (
+    ACMEClient,
+    ACMEError,
+    ACMEServer,
+    OrderStatus,
+    WellKnownStore,
+)
+from repro.x509.ca import CertificateAuthority, IssuancePolicy
+from repro.x509.ct import CTLogSet
+
+NOW = 1_650_000_000
+DAY = 86_400
+
+
+@pytest.fixture
+def setup():
+    ca = CertificateAuthority(
+        "AutoCA", is_public_trust=True,
+        policy=IssuancePolicy(validity_days=90, logs_to_ct=True),
+        rng=random.Random(71), now=NOW - 40 * DAY)
+    well_known = WellKnownStore()
+    ct = CTLogSet()
+    server = ACMEServer(ca, well_known, ct_logs=ct, validity_days=90)
+    client = ACMEClient(server, well_known, contact="ops@vendor.example",
+                        rng=random.Random(72))
+    return ca, well_known, ct, server, client
+
+
+class TestHappyPath:
+    def test_full_issuance_flow(self, setup):
+        _ca, _wk, ct, _server, client = setup
+        leaf = client.obtain(["iot.vendor.example"], now=NOW)
+        assert leaf.covers_host("iot.vendor.example")
+        assert leaf.validity_days == pytest.approx(90)
+        assert ct.query(leaf)   # automation brings CT logging with it
+
+    def test_multi_identifier_order(self, setup):
+        _ca, _wk, _ct, _server, client = setup
+        leaf = client.obtain(["a.vendor.example", "b.vendor.example"],
+                             now=NOW)
+        assert leaf.covers_host("a.vendor.example")
+        assert leaf.covers_host("b.vendor.example")
+
+    def test_challenges_withdrawn_after_issuance(self, setup):
+        _ca, well_known, _ct, server, client = setup
+        client.obtain(["c.vendor.example"], now=NOW)
+        assert not well_known._content  # nothing left published
+
+
+class TestChallengeSecurity:
+    def test_unpublished_challenge_fails(self, setup):
+        _ca, _wk, _ct, server, client = setup
+        order = server.new_order(client.account.account_id,
+                                 ("victim.example",))
+        with pytest.raises(ACMEError):
+            server.validate_challenges(order.order_id)
+        assert order.status is OrderStatus.INVALID
+
+    def test_wrong_account_key_fails(self, setup):
+        # An attacker publishing a token bound to a DIFFERENT account key
+        # cannot pass validation.
+        _ca, well_known, _ct, server, client = setup
+        attacker = ACMEClient(server, well_known, contact="evil@x",
+                              rng=random.Random(99))
+        order = server.new_order(client.account.account_id,
+                                 ("contested.example",))
+        challenge = order.challenges[0]
+        well_known.publish(challenge.identifier, challenge.token,
+                           challenge.key_authorization(attacker.account_key))
+        with pytest.raises(ACMEError):
+            server.validate_challenges(order.order_id)
+
+    def test_finalize_requires_ready(self, setup):
+        _ca, _wk, _ct, server, client = setup
+        from repro.x509.keys import generate_keypair
+        order = server.new_order(client.account.account_id, ("x.example",))
+        with pytest.raises(ACMEError):
+            server.finalize(order.order_id, generate_keypair(512), NOW)
+
+    def test_empty_order_rejected(self, setup):
+        _ca, _wk, _ct, server, client = setup
+        with pytest.raises(ACMEError):
+            server.new_order(client.account.account_id, ())
+
+    def test_unknown_account_rejected(self, setup):
+        _ca, _wk, _ct, server, _client = setup
+        with pytest.raises(ACMEError):
+            server.new_order(999, ("x.example",))
+
+
+class TestRenewal:
+    def test_renewal_window(self, setup):
+        _ca, _wk, _ct, _server, client = setup
+        client.obtain(["renew.example"], now=NOW)
+        assert not client.needs_renewal(["renew.example"], at=NOW + 10 * DAY)
+        assert client.needs_renewal(["renew.example"], at=NOW + 70 * DAY)
+
+    def test_renew_due_rotates_certificate(self, setup):
+        _ca, _wk, _ct, _server, client = setup
+        first = client.obtain(["rotate.example"], now=NOW)
+        renewed = client.renew_due(at=NOW + 70 * DAY)
+        assert renewed == [("rotate.example",)]
+        second = client.certificates[("rotate.example",)]
+        assert second.fingerprint() != first.fingerprint()
+        assert second.not_after > first.not_after
+
+    def test_unenrolled_name_needs_renewal(self, setup):
+        _ca, _wk, _ct, _server, client = setup
+        assert client.needs_renewal(["new.example"], at=NOW)
+
+    def test_continuous_operation_never_lapses(self, setup):
+        # Run the renewal loop monthly for two years; the active cert must
+        # always be valid — the "ACME fixes set-and-forget" claim.
+        _ca, _wk, _ct, _server, client = setup
+        client.obtain(["always-on.example"], now=NOW)
+        for month in range(1, 25):
+            at = NOW + month * 30 * DAY
+            client.renew_due(at=at)
+            leaf = client.certificates[("always-on.example",)]
+            assert leaf.is_time_valid(at)

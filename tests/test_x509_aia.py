@@ -1,0 +1,98 @@
+"""Tests for AIA chasing in path building and validation."""
+
+import random
+
+import pytest
+
+from repro.x509.ca import CertificateAuthority
+from repro.x509.chain import build_path
+from repro.x509.truststore import TrustStore
+from repro.x509.validation import ChainStatus, ChainValidator
+
+NOW = 1_650_000_000
+DAY = 86_400
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(
+        "AiaCA", is_public_trust=True, rng=random.Random(81),
+        now=NOW - 40 * DAY, intermediate_names=("AiaCA Issuing 1",))
+
+
+@pytest.fixture(scope="module")
+def store(ca):
+    return TrustStore("aia-store", [ca.root])
+
+
+@pytest.fixture(scope="module")
+def resolver(ca):
+    intermediate = ca.intermediates[0]
+
+    def resolve(certificate):
+        if str(certificate.issuer) == str(intermediate.subject):
+            return intermediate
+        return None
+
+    return resolve
+
+
+class TestAIAChasing:
+    def test_bare_leaf_completes_with_resolver(self, ca, store, resolver):
+        leaf, _ = ca.issue_leaf("aia.example", now=NOW)
+        path = build_path([leaf], store, intermediate_resolver=resolver)
+        assert path.complete
+        assert path.anchor_in_store
+        assert len(path) == 3
+
+    def test_bare_leaf_fails_without_resolver(self, ca, store):
+        leaf, _ = ca.issue_leaf("aia.example", now=NOW)
+        path = build_path([leaf], store)
+        assert not path.complete
+
+    def test_resolver_result_must_verify(self, ca, store):
+        # A resolver returning a name-matching but wrong-key certificate
+        # must be ignored.
+        other = CertificateAuthority(
+            "AiaCA", is_public_trust=True, rng=random.Random(82),
+            now=NOW - 40 * DAY, intermediate_names=("AiaCA Issuing 1",))
+        impostor = other.intermediates[0]
+        leaf, _ = ca.issue_leaf("sus.example", now=NOW)
+        path = build_path([leaf], store,
+                          intermediate_resolver=lambda _c: impostor)
+        assert not path.complete
+
+    def test_validator_with_resolver_flips_status(self, ca, store,
+                                                  resolver):
+        leaf, _ = ca.issue_leaf("flip.example", now=NOW)
+        strict = ChainValidator(store)
+        chasing = ChainValidator(store, intermediate_resolver=resolver)
+        assert strict.validate([leaf], at=NOW + DAY).status is \
+            ChainStatus.INCOMPLETE_CHAIN
+        assert chasing.validate([leaf], at=NOW + DAY).status is \
+            ChainStatus.OK
+
+    def test_private_roots_stay_untrusted_with_aia(self, study):
+        # AIA chasing completes chains but cannot mint trust: the paper's
+        # private-root failures persist.
+        resolver = study.ecosystem.aia_resolver()
+        chasing = ChainValidator(study.ecosystem.union_store,
+                                 intermediate_resolver=resolver)
+        roku = study.ecosystem.private["Roku"]
+        leaf, _ = roku.issue_leaf("aia.roku.com", now=NOW)
+        report = chasing.validate([leaf], at=NOW + DAY)
+        # The chain now completes to Roku's root, which is still untrusted
+        # (or remains incomplete if the root isn't resolvable — both are
+        # failures).
+        assert report.status in (ChainStatus.UNTRUSTED_ROOT,
+                                 ChainStatus.INCOMPLETE_CHAIN)
+        assert report.status is not ChainStatus.OK
+
+    def test_ecosystem_resolver_covers_netflix_chained(self, study):
+        resolver = study.ecosystem.aia_resolver()
+        chained = study.ecosystem.netflix_chained
+        leaf, _ = chained.issue_leaf("aia.netflix.com", now=NOW)
+        path = build_path([leaf], study.ecosystem.union_store,
+                          intermediate_resolver=resolver)
+        assert path.complete
+        assert path.anchor_in_store

@@ -1,0 +1,138 @@
+"""Unit tests for certificate authorities."""
+
+import random
+
+import pytest
+
+from repro.x509.ca import CertificateAuthority, IssuancePolicy
+from repro.x509.ct import CTLogSet
+from repro.x509.errors import IssuanceError
+
+NOW = 1_600_000_000
+DAY = 86_400
+
+
+@pytest.fixture(scope="module")
+def public_ca():
+    return CertificateAuthority(
+        "TestiCert", is_public_trust=True,
+        policy=IssuancePolicy(validity_days=397, logs_to_ct=True),
+        rng=random.Random(5), now=NOW,
+        intermediate_names=("TestiCert Issuing CA",))
+
+
+@pytest.fixture(scope="module")
+def private_ca():
+    return CertificateAuthority(
+        "GadgetCo", is_public_trust=False,
+        policy=IssuancePolicy(validity_days=7300, logs_to_ct=False),
+        rng=random.Random(6), now=NOW)
+
+
+class TestStructure:
+    def test_root_is_self_signed_ca(self, public_ca):
+        assert public_ca.root.is_self_signed()
+        assert public_ca.root.is_ca
+
+    def test_intermediate_chains_to_root(self, public_ca):
+        intermediate = public_ca.intermediates[0]
+        intermediate.verify_signature(public_ca.root.public_key)
+        assert intermediate.is_ca
+
+    def test_leafs_signed_by_intermediate(self, public_ca):
+        leaf, _key = public_ca.issue_leaf("host.example.com", now=NOW)
+        intermediate = public_ca.intermediates[0]
+        leaf.verify_signature(intermediate.public_key)
+        assert str(leaf.issuer) == str(intermediate.subject)
+
+    def test_root_signing_without_intermediates(self, private_ca):
+        leaf, _key = private_ca.issue_leaf("cloud.gadgetco.io", now=NOW)
+        leaf.verify_signature(private_ca.root.public_key)
+
+    def test_add_intermediate_extends_chain(self):
+        ca = CertificateAuthority("Deep", is_public_trust=False,
+                                  rng=random.Random(9), now=NOW)
+        ca.add_intermediate("Deep Sub 1", now=NOW)
+        ca.add_intermediate("Deep Sub 2", now=NOW)
+        leaf, _ = ca.issue_leaf("x.deep.example", now=NOW)
+        chain = ca.chain_for(leaf, include_root=True)
+        assert len(chain) == 4  # leaf + two intermediates + root
+        # Each link verifies against the next.
+        for child, parent in zip(chain, chain[1:]):
+            child.verify_signature(parent.public_key)
+
+
+class TestIssuance:
+    def test_policy_validity_used(self, private_ca):
+        leaf, _ = private_ca.issue_leaf("a.gadgetco.io", now=NOW)
+        assert leaf.validity_days == pytest.approx(7300)
+
+    def test_validity_override(self, private_ca):
+        leaf, _ = private_ca.issue_leaf("b.gadgetco.io", now=NOW,
+                                        validity_days=30)
+        assert leaf.validity_days == pytest.approx(30)
+
+    def test_zero_validity_rejected(self, private_ca):
+        with pytest.raises(IssuanceError):
+            private_ca.issue_leaf("c.gadgetco.io", now=NOW, validity_days=0)
+
+    def test_default_san_is_cn(self, public_ca):
+        leaf, _ = public_ca.issue_leaf("host.example.com", now=NOW)
+        assert leaf.san_dns_names == ("host.example.com",)
+
+    def test_explicit_san_list(self, public_ca):
+        leaf, _ = public_ca.issue_leaf(
+            "*.cdn.example", now=NOW,
+            san_dns_names=("*.cdn.example", "cdn.example"))
+        assert leaf.covers_host("x.cdn.example")
+        assert leaf.covers_host("cdn.example")
+
+    def test_omit_names_misissuance(self, private_ca):
+        leaf, _ = private_ca.issue_leaf("a2.gadgetco.io", now=NOW,
+                                        omit_names=True)
+        assert not leaf.covers_host("a2.gadgetco.io")
+        assert leaf.san_dns_names == ()
+
+    def test_serials_unique(self, public_ca):
+        serials = {public_ca.issue_leaf(f"h{i}.example", now=NOW)[0].serial
+                   for i in range(5)}
+        assert len(serials) == 5
+
+    def test_subject_key_reuse(self, public_ca):
+        leaf_a, key = public_ca.issue_leaf("a.example", now=NOW)
+        leaf_b, _ = public_ca.issue_leaf("b.example", now=NOW,
+                                         subject_key=key)
+        assert leaf_a.public_key == leaf_b.public_key
+        assert leaf_a.fingerprint() != leaf_b.fingerprint()
+
+
+class TestCTBehaviour:
+    def test_public_ca_logs(self, public_ca):
+        logs = CTLogSet()
+        leaf, _ = public_ca.issue_leaf("logged.example", now=NOW,
+                                       ct_logs=logs)
+        assert logs.query(leaf)
+
+    def test_private_ca_never_logs(self, private_ca):
+        logs = CTLogSet()
+        leaf, _ = private_ca.issue_leaf("dark.gadgetco.io", now=NOW,
+                                        ct_logs=logs)
+        assert not logs.query(leaf)
+
+
+class TestChainAssembly:
+    def test_chain_without_root(self, public_ca):
+        leaf, _ = public_ca.issue_leaf("h.example", now=NOW)
+        chain = public_ca.chain_for(leaf)
+        assert chain[0] is leaf
+        assert all(c.fingerprint() != public_ca.root.fingerprint()
+                   for c in chain)
+
+    def test_chain_with_root(self, public_ca):
+        leaf, _ = public_ca.issue_leaf("h2.example", now=NOW)
+        chain = public_ca.chain_for(leaf, include_root=True)
+        assert chain[-1].fingerprint() == public_ca.root.fingerprint()
+
+    def test_repr_mentions_kind(self, public_ca, private_ca):
+        assert "public-trust" in repr(public_ca)
+        assert "private" in repr(private_ca)

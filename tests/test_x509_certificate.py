@@ -1,0 +1,139 @@
+"""Unit tests for certificate construction, DER round-trip, semantics."""
+
+import random
+
+import pytest
+
+from repro.x509.certificate import Certificate, sign_certificate
+from repro.x509.errors import DERDecodeError, SignatureError
+from repro.x509.keys import generate_keypair
+from repro.x509.names import DistinguishedName
+
+NOW = 1_650_000_000
+DAY = 86_400
+
+
+@pytest.fixture(scope="module")
+def issuer_key():
+    return generate_keypair(512, rng=random.Random(11))
+
+
+@pytest.fixture(scope="module")
+def subject_key():
+    return generate_keypair(512, rng=random.Random(12))
+
+
+@pytest.fixture(scope="module")
+def leaf(issuer_key, subject_key):
+    return sign_certificate(
+        serial=42,
+        subject=DistinguishedName(common_name="api.vendor.com",
+                                  organization="Vendor"),
+        issuer=DistinguishedName(common_name="Trusty CA",
+                                 organization="Trusty"),
+        issuer_keypair=issuer_key,
+        not_before=NOW, not_after=NOW + 397 * DAY,
+        public_key=subject_key.public,
+        san_dns_names=("api.vendor.com", "www.vendor.com"))
+
+
+class TestRoundTrip:
+    def test_der_roundtrip_fields(self, leaf):
+        parsed = Certificate.from_der(leaf.to_der())
+        assert parsed.serial == 42
+        assert parsed.subject == leaf.subject
+        assert parsed.issuer == leaf.issuer
+        assert parsed.not_before == NOW
+        assert parsed.not_after == NOW + 397 * DAY
+        assert parsed.san_dns_names == ("api.vendor.com", "www.vendor.com")
+        assert parsed.is_ca is False
+        assert parsed.public_key == leaf.public_key
+
+    def test_der_roundtrip_is_byte_stable(self, leaf):
+        assert Certificate.from_der(leaf.to_der()).to_der() == leaf.to_der()
+
+    def test_signature_survives_roundtrip(self, leaf, issuer_key):
+        parsed = Certificate.from_der(leaf.to_der())
+        parsed.verify_signature(issuer_key.public)  # no exception
+
+    def test_fingerprint_stable_and_unique(self, leaf, issuer_key,
+                                           subject_key):
+        assert leaf.fingerprint() == leaf.fingerprint()
+        other = sign_certificate(
+            serial=43, subject=leaf.subject, issuer=leaf.issuer,
+            issuer_keypair=issuer_key, not_before=NOW,
+            not_after=NOW + DAY, public_key=subject_key.public)
+        assert other.fingerprint() != leaf.fingerprint()
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DERDecodeError):
+            Certificate.from_der(b"\x30\x03\x02\x01\x05")
+
+
+class TestSemantics:
+    def test_validity_days(self, leaf):
+        assert leaf.validity_days == pytest.approx(397)
+
+    def test_time_validity(self, leaf):
+        assert leaf.is_time_valid(NOW + DAY)
+        assert leaf.is_expired(NOW + 398 * DAY)
+        assert leaf.is_not_yet_valid(NOW - DAY)
+        assert not leaf.is_expired(NOW + DAY)
+
+    def test_host_coverage_uses_san(self, leaf):
+        assert leaf.covers_host("www.vendor.com")
+        assert not leaf.covers_host("other.vendor.com")
+
+    def test_not_self_issued(self, leaf):
+        assert not leaf.is_self_issued
+        assert not leaf.is_self_signed()
+
+    def test_self_signed(self, issuer_key):
+        subject = DistinguishedName(common_name="self.example")
+        cert = sign_certificate(
+            serial=1, subject=subject, issuer=subject,
+            issuer_keypair=issuer_key, not_before=NOW,
+            not_after=NOW + DAY, public_key=issuer_key.public)
+        assert cert.is_self_issued
+        assert cert.is_self_signed()
+
+    def test_self_issued_but_not_self_signed(self, issuer_key, subject_key):
+        # Same subject/issuer name, but signed by a DIFFERENT key.
+        subject = DistinguishedName(common_name="fake.example")
+        cert = sign_certificate(
+            serial=1, subject=subject, issuer=subject,
+            issuer_keypair=issuer_key, not_before=NOW,
+            not_after=NOW + DAY, public_key=subject_key.public)
+        assert cert.is_self_issued
+        assert not cert.is_self_signed()
+
+    def test_verify_wrong_issuer_raises(self, leaf, subject_key):
+        with pytest.raises(SignatureError):
+            leaf.verify_signature(subject_key.public)
+
+    def test_tampered_der_fails_verification(self, leaf, issuer_key):
+        der = bytearray(leaf.to_der())
+        index = der.find(b"api.vendor.com")
+        der[index] ^= 0x01
+        tampered = Certificate.from_der(bytes(der))
+        with pytest.raises(SignatureError):
+            tampered.verify_signature(issuer_key.public)
+
+    def test_ca_flag_roundtrip(self, issuer_key):
+        subject = DistinguishedName(common_name="Mini Root")
+        cert = sign_certificate(
+            serial=1, subject=subject, issuer=subject,
+            issuer_keypair=issuer_key, not_before=NOW,
+            not_after=NOW + DAY, public_key=issuer_key.public, is_ca=True)
+        assert Certificate.from_der(cert.to_der()).is_ca
+
+    def test_century_long_validity_roundtrip(self, issuer_key, subject_key):
+        # Tuya signs 36,500-day (100-year) certificates; the not-after
+        # lands past 2050 and must use GeneralizedTime.
+        cert = sign_certificate(
+            serial=9, subject=DistinguishedName(common_name="*.tuyaus.com"),
+            issuer=DistinguishedName(common_name="Tuya Root CA"),
+            issuer_keypair=issuer_key, not_before=NOW,
+            not_after=NOW + 36_500 * DAY, public_key=subject_key.public)
+        parsed = Certificate.from_der(cert.to_der())
+        assert parsed.validity_days == pytest.approx(36_500)

@@ -1,0 +1,116 @@
+"""Edge-case tests for path building and validation."""
+
+import random
+
+import pytest
+
+from repro.x509.ca import CertificateAuthority
+from repro.x509.certificate import sign_certificate
+from repro.x509.chain import build_path
+from repro.x509.keys import generate_keypair
+from repro.x509.names import DistinguishedName
+from repro.x509.truststore import TrustStore
+from repro.x509.validation import ChainStatus, ChainValidator
+
+NOW = 1_650_000_000
+DAY = 86_400
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority(
+        "EdgeCA", is_public_trust=True, rng=random.Random(91),
+        now=NOW - 40 * DAY, intermediate_names=("EdgeCA Sub",))
+
+
+@pytest.fixture(scope="module")
+def store(ca):
+    return TrustStore("edge-store", [ca.root])
+
+
+class TestBrokenLinks:
+    def test_name_matching_wrong_key_is_bad_signature(self, ca, store):
+        # An intermediate with the RIGHT name but the WRONG key: path
+        # building follows the name link and flags the broken signature.
+        impostor_ca = CertificateAuthority(
+            "EdgeCA", is_public_trust=True, rng=random.Random(92),
+            now=NOW - 40 * DAY, intermediate_names=("EdgeCA Sub",))
+        leaf, _ = ca.issue_leaf("broken.example", now=NOW)
+        presented = [leaf, impostor_ca.intermediates[0],
+                     impostor_ca.root]
+        report = ChainValidator(TrustStore("empty")).validate(
+            presented, at=NOW + DAY)
+        assert report.status is ChainStatus.BAD_SIGNATURE
+
+    def test_tampered_self_signed_root(self, store):
+        key = generate_keypair(512, rng=random.Random(93))
+        other = generate_keypair(512, rng=random.Random(94))
+        subject = DistinguishedName(common_name="Fake Root")
+        # Self-issued but signed with a different key.
+        fake = sign_certificate(serial=1, subject=subject, issuer=subject,
+                                issuer_keypair=other, not_before=NOW,
+                                not_after=NOW + DAY,
+                                public_key=key.public, is_ca=True)
+        path = build_path([fake], store)
+        assert path.complete
+        assert path.broken_link_at is not None
+
+
+class TestDepthAndCycles:
+    def test_max_depth_guard(self, store):
+        # Two certificates that claim to issue each other: the loop guard
+        # terminates path building.
+        key_a = generate_keypair(512, rng=random.Random(95))
+        key_b = generate_keypair(512, rng=random.Random(96))
+        name_a = DistinguishedName(common_name="Loop A")
+        name_b = DistinguishedName(common_name="Loop B")
+        cert_a = sign_certificate(serial=1, subject=name_a, issuer=name_b,
+                                  issuer_keypair=key_b, not_before=NOW,
+                                  not_after=NOW + DAY,
+                                  public_key=key_a.public, is_ca=True)
+        cert_b = sign_certificate(serial=2, subject=name_b, issuer=name_a,
+                                  issuer_keypair=key_a, not_before=NOW,
+                                  not_after=NOW + DAY,
+                                  public_key=key_b.public, is_ca=True)
+        path = build_path([cert_a, cert_b, cert_a], store, max_depth=5)
+        assert len(path) <= 6
+        assert not path.anchor_in_store
+
+    def test_deep_chain_within_limit(self, store):
+        ca = CertificateAuthority(
+            "DeepEdge", is_public_trust=True, rng=random.Random(97),
+            now=NOW - 40 * DAY)
+        for i in range(4):
+            ca.add_intermediate(f"DeepEdge Sub {i}", now=NOW - 30 * DAY)
+        deep_store = TrustStore("deep", [ca.root])
+        leaf, _ = ca.issue_leaf("deep.example", now=NOW)
+        path = build_path(ca.chain_for(leaf, include_root=True), deep_store)
+        assert path.complete
+        assert path.anchor_in_store
+        assert len(path) == 6
+
+
+class TestReportFields:
+    def test_presented_vs_path_length(self, ca, store):
+        leaf, _ = ca.issue_leaf("fields.example", now=NOW)
+        # Present only the leaf: the store supplies nothing (intermediate
+        # missing), so path stays short.
+        report = ChainValidator(store).validate([leaf], at=NOW + DAY)
+        assert report.presented_length == 1
+        assert report.path_length == 1
+
+    def test_store_anchor_appended_to_path(self, ca, store):
+        intermediate = ca.intermediates[0]
+        leaf, _ = ca.issue_leaf("anchored.example", now=NOW)
+        report = ChainValidator(store).validate([leaf, intermediate],
+                                                at=NOW + DAY)
+        assert report.presented_length == 2
+        assert report.path_length == 3  # + the store root
+
+    def test_hostname_none_when_not_given(self, ca, store):
+        leaf, _ = ca.issue_leaf("hostless.example", now=NOW)
+        report = ChainValidator(store).validate(ca.chain_for(leaf),
+                                                at=NOW + DAY)
+        assert report.hostname_ok is None
+        assert not report.cn_mismatch
+        assert report.valid

@@ -1,0 +1,108 @@
+"""Unit tests for the Certificate Transparency logs."""
+
+import random
+
+import pytest
+
+from repro.x509.certificate import sign_certificate
+from repro.x509.ct import CTLog, CTLogSet
+from repro.x509.keys import generate_keypair
+from repro.x509.names import DistinguishedName
+
+NOW = 1_600_000_000
+
+
+@pytest.fixture(scope="module")
+def certs():
+    key = generate_keypair(512, rng=random.Random(40))
+    subject = DistinguishedName(common_name="CT Test CA")
+    out = []
+    for i in range(9):
+        out.append(sign_certificate(
+            serial=i + 1, subject=DistinguishedName(
+                common_name=f"host{i}.example"),
+            issuer=subject, issuer_keypair=key,
+            not_before=NOW, not_after=NOW + 86400,
+            public_key=key.public))
+    return out
+
+
+class TestLogBasics:
+    def test_submit_and_query(self, certs):
+        log = CTLog("test")
+        log.submit(certs[0])
+        assert log.contains(certs[0])
+        assert not log.contains(certs[1])
+
+    def test_submit_idempotent(self, certs):
+        log = CTLog("test")
+        first = log.submit(certs[0])
+        second = log.submit(certs[0])
+        assert first.index == second.index
+        assert len(log) == 1
+
+    def test_sct_fields(self, certs):
+        log = CTLog("argon")
+        sct = log.submit(certs[0], timestamp=123)
+        assert sct.log_id == "argon"
+        assert sct.index == 0
+        assert sct.timestamp == 123
+
+
+class TestMerkleTree:
+    def test_empty_tree_head(self):
+        import hashlib
+        assert CTLog("t").tree_head() == hashlib.sha256(b"").digest()
+
+    def test_head_changes_on_append(self, certs):
+        log = CTLog("t")
+        log.submit(certs[0])
+        head_one = log.tree_head()
+        log.submit(certs[1])
+        assert log.tree_head() != head_one
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 8, 9])
+    def test_inclusion_proofs_verify(self, certs, count):
+        log = CTLog("t")
+        for cert in certs[:count]:
+            log.submit(cert)
+        for cert in certs[:count]:
+            proof = log.prove_inclusion(cert)
+            assert proof is not None
+            assert log.verify_inclusion(cert, proof)
+
+    def test_proof_fails_for_wrong_cert(self, certs):
+        log = CTLog("t")
+        log.submit(certs[0])
+        log.submit(certs[1])
+        proof = log.prove_inclusion(certs[0])
+        assert not log.verify_inclusion(certs[1], proof)
+
+    def test_proof_invalidated_by_growth(self, certs):
+        log = CTLog("t")
+        log.submit(certs[0])
+        log.submit(certs[1])
+        proof = log.prove_inclusion(certs[0])
+        log.submit(certs[2])
+        # Tree size changed; the old proof no longer verifies.
+        assert not log.verify_inclusion(certs[0], proof)
+
+    def test_no_proof_for_unlogged(self, certs):
+        assert CTLog("t").prove_inclusion(certs[0]) is None
+
+
+class TestLogSet:
+    def test_submit_reaches_all_logs(self, certs):
+        logs = CTLogSet()
+        scts = logs.submit(certs[0])
+        assert len(scts) == len(logs.logs)
+        assert logs.query(certs[0])
+
+    def test_query_false_when_absent(self, certs):
+        assert not CTLogSet().query(certs[0])
+
+    def test_prove_collects_per_log(self, certs):
+        logs = CTLogSet(log_ids=("a", "b"))
+        logs.submit(certs[0])
+        proofs = logs.prove(certs[0])
+        assert {proof.log_id for proof in proofs} == {"a", "b"}

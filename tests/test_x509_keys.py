@@ -1,0 +1,91 @@
+"""Unit tests for RSA keys and signatures."""
+
+import random
+
+import pytest
+
+from repro.x509.errors import SignatureError
+from repro.x509.keys import KeyPool, RSAPublicKey, generate_keypair
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(512, rng=random.Random(7))
+
+
+class TestGeneration:
+    def test_modulus_size(self, keypair):
+        assert keypair.public.bit_length == 512
+        assert keypair.public.byte_length == 64
+
+    def test_deterministic_given_rng(self):
+        a = generate_keypair(512, rng=random.Random(99))
+        b = generate_keypair(512, rng=random.Random(99))
+        assert a.public.n == b.public.n
+
+    def test_different_seeds_different_keys(self):
+        a = generate_keypair(512, rng=random.Random(1))
+        b = generate_keypair(512, rng=random.Random(2))
+        assert a.public.n != b.public.n
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(256)
+
+    def test_public_exponent(self, keypair):
+        assert keypair.public.e == 65537
+
+
+class TestSignVerify:
+    def test_sign_verify_roundtrip(self, keypair):
+        message = b"the quick brown fox"
+        signature = keypair.sign(message)
+        keypair.public.verify(message, signature)  # no exception
+
+    def test_signature_deterministic(self, keypair):
+        assert keypair.sign(b"m") == keypair.sign(b"m")
+
+    def test_tampered_message_fails(self, keypair):
+        signature = keypair.sign(b"original")
+        assert not keypair.public.verifies(b"tampered", signature)
+
+    def test_tampered_signature_fails(self, keypair):
+        signature = bytearray(keypair.sign(b"message"))
+        signature[10] ^= 0xFF
+        assert not keypair.public.verifies(b"message", bytes(signature))
+
+    def test_wrong_key_fails(self, keypair):
+        other = generate_keypair(512, rng=random.Random(55))
+        signature = keypair.sign(b"message")
+        assert not other.public.verifies(b"message", signature)
+
+    def test_wrong_length_raises(self, keypair):
+        with pytest.raises(SignatureError):
+            keypair.public.verify(b"m", b"\x01\x02")
+
+    def test_out_of_range_signature(self, keypair):
+        too_big = (keypair.public.n + 1).to_bytes(
+            keypair.public.byte_length, "big", signed=False) \
+            if keypair.public.n + 1 < 1 << (8 * keypair.public.byte_length) \
+            else b"\xff" * keypair.public.byte_length
+        with pytest.raises(SignatureError):
+            keypair.public.verify(b"m", too_big)
+
+    def test_fingerprint_stability(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        other = generate_keypair(512, rng=random.Random(3))
+        assert keypair.public.fingerprint() != other.public.fingerprint()
+
+
+class TestKeyPool:
+    def test_cycles_deterministically(self):
+        pool_a = KeyPool(size=4, rng=random.Random(0))
+        pool_b = KeyPool(size=4, rng=random.Random(0))
+        for _ in range(6):
+            assert pool_a.take().public.n == pool_b.take().public.n
+
+    def test_wraps_around(self):
+        pool = KeyPool(size=2, rng=random.Random(0))
+        first = pool.take()
+        pool.take()
+        assert pool.take().public.n == first.public.n

@@ -1,0 +1,82 @@
+"""Unit tests for distinguished names and host matching."""
+
+import pytest
+
+from repro.x509 import asn1
+from repro.x509.names import (
+    DistinguishedName,
+    certificate_covers_host,
+    hostname_matches,
+    second_level_domain,
+)
+
+
+class TestDistinguishedName:
+    def test_der_roundtrip(self):
+        dn = DistinguishedName(common_name="*.roku.com",
+                               organization="Roku", country="US")
+        decoded = DistinguishedName.from_asn1(asn1.decode(dn.to_der()))
+        assert decoded == dn
+
+    def test_minimal_dn(self):
+        dn = DistinguishedName(common_name="device.local")
+        decoded = DistinguishedName.from_asn1(asn1.decode(dn.to_der()))
+        assert decoded.common_name == "device.local"
+        assert decoded.organization is None
+
+    def test_str_format(self):
+        dn = DistinguishedName(common_name="x", organization="O", country="US")
+        assert str(dn) == "C=US, O=O, CN=x"
+
+    def test_missing_cn_rejected(self):
+        blob = asn1.encode_sequence()
+        with pytest.raises(ValueError):
+            DistinguishedName.from_asn1(asn1.decode(blob))
+
+
+class TestHostnameMatching:
+    @pytest.mark.parametrize("pattern,host,expected", [
+        ("api.vendor.com", "api.vendor.com", True),
+        ("API.Vendor.COM", "api.vendor.com", True),
+        ("api.vendor.com", "www.vendor.com", False),
+        ("*.vendor.com", "api.vendor.com", True),
+        ("*.vendor.com", "a.b.vendor.com", False),   # one label only
+        ("*.vendor.com", "vendor.com", False),        # bare domain excluded
+        ("a*.vendor.com", "api.vendor.com", False),   # partial wildcard
+        ("api.*.com", "api.vendor.com", False),       # non-leftmost wildcard
+        ("*.com", "vendor.com", False),               # too broad
+        ("", "host", False),
+        ("host", "", False),
+        ("api.vendor.com.", "api.vendor.com", True),  # trailing dot
+    ])
+    def test_matching(self, pattern, host, expected):
+        assert hostname_matches(pattern, host) is expected
+
+
+class TestCertificateCoverage:
+    def test_san_authoritative(self):
+        # With SANs present, the CN is ignored.
+        assert certificate_covers_host("cn.example.com",
+                                       ["*.other.com"], "api.other.com")
+        assert not certificate_covers_host("cn.example.com",
+                                           ["*.other.com"], "cn.example.com")
+
+    def test_cn_fallback(self):
+        assert certificate_covers_host("host.example.com", [],
+                                       "host.example.com")
+
+    def test_no_names(self):
+        assert not certificate_covers_host(None, [], "host")
+
+
+class TestSecondLevelDomain:
+    @pytest.mark.parametrize("fqdn,expected", [
+        ("api.roku.com", "roku.com"),
+        ("roku.com", "roku.com"),
+        ("a.b.c.netflix.net", "netflix.net"),
+        ("www.pavv.co.kr", "pavv.co.kr"),   # multi-part public suffix
+        ("single", "single"),
+        ("Cast4.AUDIO", "cast4.audio"),
+    ])
+    def test_extraction(self, fqdn, expected):
+        assert second_level_domain(fqdn) == expected

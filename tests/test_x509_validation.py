@@ -1,0 +1,180 @@
+"""Unit tests for trust stores, path building, and Zeek-style validation."""
+
+import random
+
+import pytest
+
+from repro.x509.ca import CertificateAuthority, IssuancePolicy
+from repro.x509.chain import build_path
+from repro.x509.truststore import TrustStore, major_stores
+from repro.x509.validation import ChainStatus, ChainValidator
+
+NOW = 1_600_000_000
+DAY = 86_400
+
+
+@pytest.fixture(scope="module")
+def public_ca():
+    return CertificateAuthority(
+        "PublicTrust", is_public_trust=True, rng=random.Random(21),
+        now=NOW - 400 * DAY, intermediate_names=("PublicTrust Sub CA",))
+
+
+@pytest.fixture(scope="module")
+def private_ca():
+    return CertificateAuthority(
+        "VendorCA", is_public_trust=False, rng=random.Random(22),
+        now=NOW - 400 * DAY,
+        policy=IssuancePolicy(validity_days=7300, logs_to_ct=False))
+
+
+@pytest.fixture(scope="module")
+def store(public_ca):
+    return TrustStore("test-store", [public_ca.root])
+
+
+@pytest.fixture(scope="module")
+def validator(store):
+    return ChainValidator(store)
+
+
+class TestTrustStore:
+    def test_membership(self, store, public_ca, private_ca):
+        assert store.contains(public_ca.root)
+        assert not store.contains(private_ca.root)
+
+    def test_rejects_non_ca(self, public_ca):
+        leaf, _ = public_ca.issue_leaf("h.example", now=NOW)
+        with pytest.raises(ValueError):
+            TrustStore("bad", [leaf])
+
+    def test_find_issuer_verifies_signature(self, store, public_ca):
+        intermediate = public_ca.intermediates[0]
+        assert store.find_issuer(intermediate) is not None
+
+    def test_union(self, public_ca, private_ca):
+        a = TrustStore("a", [public_ca.root])
+        # A second store trusting the "private" root (device-local trust).
+        b = TrustStore("b", [private_ca.root])
+        union = a.union(b)
+        assert union.contains(public_ca.root)
+        assert union.contains(private_ca.root)
+        assert len(union) == 2
+
+    def test_major_stores_aligned(self, public_ca):
+        mozilla, apple, microsoft = major_stores([public_ca])
+        for trust_store in (mozilla, apple, microsoft):
+            assert trust_store.contains(public_ca.root)
+
+
+class TestPathBuilding:
+    def test_path_via_store(self, public_ca, store):
+        leaf, _ = public_ca.issue_leaf("h.example", now=NOW)
+        path = build_path(public_ca.chain_for(leaf), store)
+        assert path.complete
+        assert path.anchor_in_store
+        assert len(path) == 3  # leaf + intermediate + store root
+
+    def test_path_missing_intermediate(self, public_ca, store):
+        leaf, _ = public_ca.issue_leaf("h.example", now=NOW)
+        path = build_path([leaf], store)
+        assert not path.complete
+
+    def test_path_to_untrusted_root(self, private_ca, store):
+        leaf, _ = private_ca.issue_leaf("h.vendor", now=NOW)
+        path = build_path(private_ca.chain_for(leaf, include_root=True),
+                          store)
+        assert path.complete
+        assert not path.anchor_in_store
+
+    def test_scrambled_presented_order(self, public_ca, store):
+        leaf, _ = public_ca.issue_leaf("h.example", now=NOW)
+        chain = public_ca.chain_for(leaf, include_root=True)
+        scrambled = [chain[0]] + list(reversed(chain[1:]))
+        path = build_path(scrambled, store)
+        assert path.complete
+
+    def test_empty_chain_rejected(self, store):
+        with pytest.raises(ValueError):
+            build_path([], store)
+
+
+class TestValidationStatuses:
+    def test_ok(self, public_ca, validator):
+        leaf, _ = public_ca.issue_leaf("good.example", now=NOW)
+        report = validator.validate(public_ca.chain_for(leaf),
+                                    at=NOW + DAY, hostname="good.example")
+        assert report.status is ChainStatus.OK
+        assert report.valid
+
+    def test_incomplete_chain(self, public_ca, validator):
+        leaf, _ = public_ca.issue_leaf("alone.example", now=NOW)
+        report = validator.validate([leaf], at=NOW + DAY)
+        assert report.status is ChainStatus.INCOMPLETE_CHAIN
+
+    def test_untrusted_root(self, private_ca, validator):
+        leaf, _ = private_ca.issue_leaf("own.vendor", now=NOW)
+        report = validator.validate(
+            private_ca.chain_for(leaf, include_root=True), at=NOW + DAY)
+        assert report.status is ChainStatus.UNTRUSTED_ROOT
+        assert report.status.is_private_issuer_status
+
+    def test_private_without_root_is_incomplete(self, private_ca,
+                                                 validator):
+        # Table 7's core case: private issuer, root neither presented nor
+        # in the stores.
+        leaf, _ = private_ca.issue_leaf("own2.vendor", now=NOW)
+        report = validator.validate([leaf], at=NOW + DAY)
+        assert report.status is ChainStatus.INCOMPLETE_CHAIN
+
+    def test_self_signed(self, validator):
+        from repro.x509.certificate import sign_certificate
+        from repro.x509.keys import generate_keypair
+        from repro.x509.names import DistinguishedName
+        key = generate_keypair(512, rng=random.Random(30))
+        subject = DistinguishedName(common_name="selfie.example")
+        cert = sign_certificate(serial=1, subject=subject, issuer=subject,
+                                issuer_keypair=key, not_before=NOW,
+                                not_after=NOW + DAY, public_key=key.public)
+        report = validator.validate([cert], at=NOW)
+        assert report.status is ChainStatus.SELF_SIGNED
+
+    def test_expired(self, public_ca, validator):
+        leaf, _ = public_ca.issue_leaf("old.example", now=NOW - 500 * DAY,
+                                       validity_days=30)
+        report = validator.validate(public_ca.chain_for(leaf), at=NOW)
+        assert report.status is ChainStatus.EXPIRED
+        assert report.expired
+
+    def test_not_yet_valid(self, public_ca, validator):
+        leaf, _ = public_ca.issue_leaf("future.example", now=NOW + 100 * DAY)
+        report = validator.validate(public_ca.chain_for(leaf), at=NOW)
+        assert report.status is ChainStatus.NOT_YET_VALID
+
+    def test_cn_mismatch_flag(self, public_ca, validator):
+        leaf, _ = public_ca.issue_leaf("real.example", now=NOW)
+        report = validator.validate(public_ca.chain_for(leaf), at=NOW + DAY,
+                                    hostname="other.example")
+        assert report.status is ChainStatus.OK
+        assert report.cn_mismatch
+        assert not report.valid
+
+    def test_duplicate_leaf_chain(self, private_ca, validator):
+        # The samsunghrm.com case: the same leaf presented twice.
+        leaf, _ = private_ca.issue_leaf("hrm.vendor", now=NOW)
+        report = validator.validate([leaf, leaf], at=NOW + DAY)
+        assert report.status is ChainStatus.INCOMPLETE_CHAIN
+        assert report.presented_length == 2
+
+    def test_adding_missing_intermediate_never_hurts(self, public_ca,
+                                                     validator):
+        # Monotonicity: completing a chain cannot make it worse.
+        leaf, _ = public_ca.issue_leaf("mono.example", now=NOW)
+        bare = validator.validate([leaf], at=NOW + DAY)
+        full = validator.validate(public_ca.chain_for(leaf), at=NOW + DAY)
+        assert bare.status is ChainStatus.INCOMPLETE_CHAIN
+        assert full.status is ChainStatus.OK
+
+    def test_empty_chain_rejected(self, validator):
+        with pytest.raises(ValueError):
+            validator.validate([], at=NOW)
