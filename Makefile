@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report figures examples clean
+.PHONY: install test bench bench-probe report figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,10 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-probe:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_probe_engine.py \
+	    --jobs 4 -o BENCH_probe.json
 
 report:
 	$(PYTHON) -m repro report -o study_report.md
@@ -29,4 +33,4 @@ examples:
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis study_report.md \
-	       figure_data capture.jsonl certificates.jsonl
+	       figure_data capture.jsonl certificates.jsonl BENCH_probe.json

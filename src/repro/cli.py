@@ -17,7 +17,7 @@ import argparse
 import json
 import sys
 
-from repro.study import DEFAULT_SEED, get_study
+from repro.study import DEFAULT_SEED, StudyConfig, get_study
 
 
 def _add_seed(parser):
@@ -27,7 +27,7 @@ def _add_seed(parser):
 
 def cmd_generate(args):
     from repro.inspector.io import save_records
-    study = get_study(seed=args.seed)
+    study = get_study(StudyConfig(seed=args.seed))
     dataset = study.dataset
     save_records(dataset.records, args.output)
     print(f"wrote {len(dataset.records)} ClientHello records from "
@@ -37,30 +37,24 @@ def cmd_generate(args):
 
 
 def cmd_probe(args):
-    from repro.core.issuers import leaf_issuer_org
-    study = get_study(seed=args.seed)
+    from repro.probing.engine import RetryPolicy
+    try:
+        config = StudyConfig(seed=args.seed, probe_jobs=args.jobs,
+                             retry=RetryPolicy(max_attempts=args.retries))
+    except ValueError as exc:
+        print(f"probe: {exc}", file=sys.stderr)
+        return 2
+    study = get_study(config)
     certificates = study.certificates
-    rows = []
-    for fqdn, result in sorted(certificates.results_at().items()):
-        if result.leaf is None:
-            rows.append({"fqdn": fqdn, "reachable": result.reachable,
-                         "error": result.error})
-            continue
-        leaf = result.leaf
-        rows.append({
-            "fqdn": fqdn, "reachable": True,
-            "issuer": leaf_issuer_org(leaf),
-            "validity_days": round(leaf.validity_days, 1),
-            "not_after": int(leaf.not_after),
-            "chain_length": len(result.chain),
-            "in_ct": study.network.ct_logs.query(leaf),
-        })
+    rows = certificates.to_json_rows(ct_logs=study.network.ct_logs)
     with open(args.output, "w", encoding="utf-8") as handle:
         for row in rows:
             handle.write(json.dumps(row) + "\n")
     reachable = sum(1 for row in rows if row["reachable"])
     print(f"probed {len(rows)} SNIs ({reachable} reachable); "
           f"wrote {args.output}")
+    if args.stats and certificates.stats is not None:
+        print(certificates.stats.summary())
     return 0
 
 
@@ -157,6 +151,16 @@ def build_parser():
         "probe", help="probe all SNIs, save per-server cert summary")
     _add_seed(p_probe)
     p_probe.add_argument("-o", "--output", default="certificates.jsonl")
+    p_probe.add_argument("--jobs", type=int, default=1,
+                         help="probe engine worker threads "
+                              "(default %(default)s; output is identical "
+                              "for any value)")
+    p_probe.add_argument("--retries", type=int, default=3,
+                         help="attempt budget per probe "
+                              "(default %(default)s)")
+    p_probe.add_argument("--stats", action="store_true",
+                         help="print probe engine telemetry (attempts, "
+                              "retries, error taxonomy)")
     p_probe.set_defaults(func=cmd_probe)
 
     p_report = sub.add_parser(

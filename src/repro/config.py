@@ -1,0 +1,57 @@
+"""Study configuration: one frozen value object drives everything.
+
+A :class:`StudyConfig` pins every knob a study run has — the world seed,
+the probing vantage points, the probe engine's concurrency and retry
+policy, and which major trust stores the validator unions — so a study is
+reproducible from its config alone.  It is hashable (all-frozen fields),
+which is what lets :func:`repro.study.get_study` memoize per config.
+
+The old ``get_study(seed=...)`` call sites keep working: a bare seed is
+promoted to ``StudyConfig(seed=...)`` by the shim in :mod:`repro.study`.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.probing.engine import RetryPolicy
+from repro.probing.vantage import VANTAGE_POINTS
+
+DEFAULT_SEED = 2023
+
+#: The three synthetic major root programs (paper Section 5.3).
+MAJOR_STORES = ("mozilla", "apple", "microsoft")
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Everything that parameterizes one study run."""
+
+    seed: int = DEFAULT_SEED
+    #: vantage points the prober scans from (paper: NY/Frankfurt/SG).
+    vantages: tuple = VANTAGE_POINTS
+    #: worker threads for the probe engine; 1 = the serial reference path.
+    probe_jobs: int = 1
+    #: retry/backoff/timeout policy for every probe.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: which major stores the chain validator unions (Zeek-style).
+    trust_stores: tuple = MAJOR_STORES
+
+    def __post_init__(self):
+        if self.probe_jobs < 1:
+            raise ValueError("probe_jobs must be >= 1")
+        if not self.vantages:
+            raise ValueError("at least one vantage point is required")
+        unknown = set(self.trust_stores) - set(MAJOR_STORES)
+        if unknown:
+            raise ValueError(f"unknown trust stores: {sorted(unknown)}")
+        if not self.trust_stores:
+            raise ValueError("at least one trust store is required")
+        # Normalize list arguments so equal configs hash equally.
+        object.__setattr__(self, "vantages", tuple(self.vantages))
+        object.__setattr__(self, "trust_stores",
+                           tuple(self.trust_stores))
+
+    def with_seed(self, seed):
+        """This config with a different world seed."""
+        return StudyConfig(seed=seed, vantages=self.vantages,
+                           probe_jobs=self.probe_jobs, retry=self.retry,
+                           trust_stores=self.trust_stores)

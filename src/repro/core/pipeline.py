@@ -64,6 +64,8 @@ def run_server_side(study):
                                    ecosystem, study.network.ct_logs)
     sld_rows = slds.sld_rows(dataset, certificates)
     return {
+        "probe_stats": (certificates.stats.to_json()
+                        if certificates.stats is not None else None),
         "issuers": issuer_rep,
         "survey": survey,
         "validation_failures": chains.validation_failure_rows(

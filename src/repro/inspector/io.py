@@ -10,35 +10,15 @@ import json
 
 from repro.inspector.dataset import InspectorDataset
 from repro.inspector.model import ClientHelloRecord
-from repro.tlslib.versions import TLSVersion
 
 
 def record_to_dict(record):
-    return {
-        "device_id": record.device_id,
-        "vendor": record.vendor,
-        "device_type": record.device_type,
-        "user_id": record.user_id,
-        "timestamp": record.timestamp,
-        "tls_version": int(record.tls_version),
-        "ciphersuites": list(record.ciphersuites),
-        "extensions": list(record.extensions),
-        "sni": record.sni,
-    }
+    """The JSONL row for one record (schema lives on the model)."""
+    return record.to_json()
 
 
 def record_from_dict(data):
-    return ClientHelloRecord(
-        device_id=data["device_id"],
-        vendor=data["vendor"],
-        device_type=data["device_type"],
-        user_id=data["user_id"],
-        timestamp=data["timestamp"],
-        tls_version=TLSVersion(data["tls_version"]),
-        ciphersuites=tuple(data["ciphersuites"]),
-        extensions=tuple(data["extensions"]),
-        sni=data.get("sni"),
-    )
+    return ClientHelloRecord.from_json(data)
 
 
 def save_records(records, path):

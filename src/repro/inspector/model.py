@@ -121,3 +121,32 @@ class ClientHelloRecord:
         """The study's 3-tuple fingerprint key."""
         return fingerprint_key(self.tls_version, self.ciphersuites,
                                self.extensions)
+
+    def to_json(self):
+        """The anonymized-capture JSONL row (IoT Inspector's schema)."""
+        return {
+            "device_id": self.device_id,
+            "vendor": self.vendor,
+            "device_type": self.device_type,
+            "user_id": self.user_id,
+            "timestamp": self.timestamp,
+            "tls_version": int(self.tls_version),
+            "ciphersuites": list(self.ciphersuites),
+            "extensions": list(self.extensions),
+            "sni": self.sni,
+        }
+
+    @classmethod
+    def from_json(cls, data):
+        """Rebuild a record from its :meth:`to_json` row."""
+        return cls(
+            device_id=data["device_id"],
+            vendor=data["vendor"],
+            device_type=data["device_type"],
+            user_id=data["user_id"],
+            timestamp=data["timestamp"],
+            tls_version=TLSVersion(data["tls_version"]),
+            ciphersuites=tuple(data["ciphersuites"]),
+            extensions=tuple(data["extensions"]),
+            sni=data.get("sni"),
+        )

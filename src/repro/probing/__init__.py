@@ -9,6 +9,13 @@ vantage points (:mod:`repro.probing.prober`), captured into a
 """
 
 from repro.probing.authorities import AuthorityEcosystem
+from repro.probing.engine import (
+    FaultInjector,
+    LatencyModel,
+    ProbeEngine,
+    ProbeStats,
+    RetryPolicy,
+)
 from repro.probing.network import SimulatedNetwork
 from repro.probing.prober import Prober, ProbeResult
 from repro.probing.certdataset import CertificateDataset
@@ -19,6 +26,11 @@ __all__ = [
     "SimulatedNetwork",
     "Prober",
     "ProbeResult",
+    "ProbeEngine",
+    "ProbeStats",
+    "RetryPolicy",
+    "FaultInjector",
+    "LatencyModel",
     "CertificateDataset",
     "VANTAGE_POINTS",
     "VantagePoint",

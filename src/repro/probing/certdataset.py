@@ -5,17 +5,23 @@ distinct leaf certificates, certificate↔FQDN and certificate↔IP sharing,
 issuer organizations, and per-vantage slices.
 """
 
+import hashlib
 from collections import defaultdict
 
 from repro.probing.vantage import PRIMARY_VANTAGE
 
 
 class CertificateDataset:
-    """Probe results indexed for analysis."""
+    """Probe results indexed for analysis.
 
-    def __init__(self, results, probed_at=None, network=None):
+    ``stats`` carries the :class:`~repro.probing.engine.ProbeStats` of the
+    run that produced the dataset (``None`` for the serial prober).
+    """
+
+    def __init__(self, results, probed_at=None, network=None, stats=None):
         self.results = list(results)
         self.probed_at = probed_at
+        self.stats = stats
         self._by_vantage = defaultdict(dict)
         for result in self.results:
             self._by_vantage[result.vantage][result.fqdn] = result
@@ -74,6 +80,32 @@ class CertificateDataset:
                 if endpoint is not None:
                     sharing[result.leaf.fingerprint()].update(endpoint.ips)
         return dict(sharing)
+
+    # --- serialization / identity ----------------------------------------------------
+
+    def to_json_rows(self, vantage=PRIMARY_VANTAGE.name, ct_logs=None):
+        """Per-server summary rows for one vantage, sorted by FQDN.
+
+        The row schema is defined once, on
+        :meth:`~repro.probing.prober.ProbeResult.to_json`; this is what
+        ``python -m repro probe`` writes as JSONL.
+        """
+        return [result.to_json(ct_logs=ct_logs)
+                for _fqdn, result in
+                sorted(self._by_vantage[vantage].items())]
+
+    def fingerprint(self):
+        """SHA-256 over every result's canonical bytes, in result order.
+
+        Two datasets with equal fingerprints observed identical bytes in
+        an identical order — the equality the parallel engine's
+        determinism guarantee is checked against.
+        """
+        digest = hashlib.sha256()
+        for result in self.results:
+            digest.update(result.signature_bytes())
+            digest.update(b"\x1e")
+        return digest.hexdigest()
 
     def __len__(self):
         return len(self.results)

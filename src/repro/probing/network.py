@@ -98,7 +98,10 @@ class Endpoint:
 class SimulatedNetwork:
     """All endpoints of the world, with a handshake-level ``connect``."""
 
-    def __init__(self, world, ecosystem=None, seed=None):
+    def __init__(self, world, ecosystem=None, seed=None, config=None):
+        if config is not None and seed is None:
+            seed = config.seed
+        self.config = config
         self.seed = world.seed if seed is None else seed
         self.world = world
         self.ecosystem = ecosystem or AuthorityEcosystem(seed=self.seed)

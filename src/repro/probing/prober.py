@@ -64,14 +64,66 @@ class ProbeResult:
     def leaf(self):
         return self.chain[0] if self.chain else None
 
+    def to_json(self, ct_logs=None):
+        """The per-server summary row (the JSONL schema of ``probe``).
+
+        Pass the world's ``ct_logs`` to include the leaf's CT presence
+        the way the paper's crt.sh lookups do.
+        """
+        row = {"fqdn": self.fqdn, "vantage": self.vantage,
+               "reachable": self.reachable}
+        if self.error is not None:
+            row["error"] = self.error
+        if self.leaf is None:
+            return row
+        leaf = self.leaf
+        row.update({
+            "issuer": leaf.issuer.organization or leaf.issuer.common_name,
+            "validity_days": round(leaf.validity_days, 1),
+            "not_after": int(leaf.not_after),
+            "chain_length": len(self.chain),
+            "stapled": self.stapled,
+        })
+        if ct_logs is not None:
+            row["in_ct"] = ct_logs.query(leaf)
+        return row
+
+    def signature_bytes(self):
+        """A canonical byte encoding of everything a probe observed.
+
+        Two results with equal signature bytes carry identical chains
+        (DER-exact), negotiation outcomes, staples, and errors — the
+        equality the engine's determinism contract is stated in.
+        """
+        parts = [
+            self.fqdn.encode(), self.vantage.encode(),
+            b"1" if self.reachable else b"0",
+            (self.error or "").encode(),
+            str(-1 if self.negotiated_version is None
+                else int(self.negotiated_version)).encode(),
+            str(-1 if self.negotiated_suite is None
+                else int(self.negotiated_suite)).encode(),
+            self.ocsp_staple or b"",
+        ]
+        parts += [certificate.to_der() for certificate in self.chain]
+        return b"\x1f".join(parts)
+
 
 class Prober:
-    """Probes a :class:`~repro.probing.network.SimulatedNetwork`."""
+    """Probes a :class:`~repro.probing.network.SimulatedNetwork`.
 
-    def __init__(self, network, vantages=VANTAGE_POINTS):
+    Stateless between probes: every :meth:`probe_one` builds a fresh
+    :class:`~repro.tlslib.handshake.TLSClient`, so a prober instance can
+    be shared only as a convenience — engine workers each construct their
+    own (see :class:`repro.probing.engine.ProbeEngine`), and nothing is
+    shared across vantages either way.
+    """
+
+    def __init__(self, network, vantages=VANTAGE_POINTS, config=None):
+        if config is not None:
+            vantages = config.vantages
         self.network = network
         self.vantages = tuple(vantages)
-        self._client = TLSClient()
 
     def _hello(self, sni):
         return ClientHello(version=TLSVersion.TLS_1_2,
@@ -81,11 +133,12 @@ class Prober:
     def probe_one(self, fqdn, vantage, at=PROBE_TIME):
         """Probe a single SNI from one vantage point."""
         hello = self._hello(fqdn)
+        client = TLSClient()
         try:
             flight = self.network.connect(
-                fqdn, self._client.first_flight(hello),
+                fqdn, client.first_flight(hello),
                 region=vantage.region, at=at)
-            result = self._client.read_server_flight(hello, flight)
+            result = client.read_server_flight(hello, flight)
         except UnreachableError as exc:
             return ProbeResult(fqdn=fqdn, vantage=vantage.name,
                                reachable=False, error=str(exc))
@@ -100,7 +153,11 @@ class Prober:
             ocsp_staple=result.ocsp_staple)
 
     def probe_all(self, snis, at=PROBE_TIME):
-        """Probe every SNI from every vantage; returns a
+        """Probe every SNI from every vantage, serially.
+
+        This is the reference path the parallel
+        :class:`~repro.probing.engine.ProbeEngine` must reproduce
+        byte-identically; returns a
         :class:`~repro.probing.certdataset.CertificateDataset`."""
         results = []
         for vantage in self.vantages:

@@ -1,37 +1,63 @@
 """One-stop study context: the world, its capture, and its probes.
 
 Building the world and probing 1,151 servers takes a few seconds; tests,
-benchmarks, and examples share a memoized :class:`Study` per seed instead
-of regenerating.
+benchmarks, and examples share a memoized :class:`Study` per
+:class:`~repro.config.StudyConfig` instead of regenerating.  Expensive
+config-independent artifacts (the world, the simulated network, the
+library corpus) are additionally memoized per *seed*, so two configs that
+differ only in probe concurrency or trust-store selection share them.
 """
 
 from functools import lru_cache
 
+from repro.config import DEFAULT_SEED, MAJOR_STORES, StudyConfig
 from repro.inspector.dataset import InspectorDataset
 from repro.inspector.generator import WorldGenerator
 from repro.libraries.corpus import build_default_corpus
+from repro.probing.engine import ProbeEngine
 from repro.probing.network import SimulatedNetwork
-from repro.probing.prober import Prober
 from repro.x509.validation import ChainValidator
 
-DEFAULT_SEED = 2023
+__all__ = ["DEFAULT_SEED", "Study", "StudyConfig", "get_study"]
+
+
+@lru_cache(maxsize=4)
+def _world_for_seed(seed):
+    return WorldGenerator(seed=seed).generate()
+
+
+@lru_cache(maxsize=4)
+def _network_for_seed(seed):
+    return SimulatedNetwork(_world_for_seed(seed))
+
+
+@lru_cache(maxsize=1)
+def _shared_corpus():
+    return build_default_corpus()
 
 
 class Study:
     """Lazily-built handles to every artifact of one study run."""
 
-    def __init__(self, seed=DEFAULT_SEED):
-        self.seed = seed
+    def __init__(self, config=None, seed=None):
+        if config is None:
+            config = StudyConfig(
+                seed=DEFAULT_SEED if seed is None else seed)
+        elif seed is not None and seed != config.seed:
+            raise ValueError("pass either a config or a seed, not both")
+        self.config = config
+        self.seed = config.seed
         self._world = None
         self._dataset = None
         self._corpus = None
         self._network = None
         self._certificates = None
+        self._trust_store = None
 
     @property
     def world(self):
         if self._world is None:
-            self._world = WorldGenerator(seed=self.seed).generate()
+            self._world = _world_for_seed(self.seed)
         return self._world
 
     @property
@@ -45,14 +71,14 @@ class Study:
     def corpus(self):
         """The 6,891-entry known-library fingerprint corpus."""
         if self._corpus is None:
-            self._corpus = build_default_corpus()
+            self._corpus = _shared_corpus()
         return self._corpus
 
     @property
     def network(self):
         """The simulated Internet with issued certificates."""
         if self._network is None:
-            self._network = SimulatedNetwork(self.world)
+            self._network = _network_for_seed(self.seed)
         return self._network
 
     @property
@@ -61,18 +87,54 @@ class Study:
 
     @property
     def certificates(self):
-        """The three-vantage certificate dataset (Section 5)."""
+        """The three-vantage certificate dataset (Section 5).
+
+        Probed by the parallel :class:`~repro.probing.engine.ProbeEngine`
+        under the config's concurrency and retry policy; the output is
+        byte-identical across worker counts for a given seed.
+        """
         if self._certificates is None:
             snis = [spec.fqdn for spec in self.world.servers]
-            self._certificates = Prober(self.network).probe_all(snis)
+            engine = ProbeEngine(self.network,
+                                 vantages=self.config.vantages,
+                                 jobs=self.config.probe_jobs,
+                                 retry=self.config.retry)
+            self._certificates = engine.probe_all(snis)
         return self._certificates
 
+    @property
+    def trust_store(self):
+        """The union of the config's selected major stores (built once)."""
+        if self._trust_store is None:
+            if tuple(self.config.trust_stores) == MAJOR_STORES:
+                self._trust_store = self.ecosystem.union_store
+            else:
+                selected = [self.ecosystem.stores[name]
+                            for name in self.config.trust_stores]
+                self._trust_store = selected[0].union(*selected[1:])
+        return self._trust_store
+
     def validator(self):
-        """A Zeek-style validator over the union of the major stores."""
-        return ChainValidator(self.ecosystem.union_store)
+        """A Zeek-style validator over the config's trust stores."""
+        return ChainValidator(self.trust_store)
 
 
-@lru_cache(maxsize=4)
-def get_study(seed=DEFAULT_SEED):
-    """The memoized study context for a seed."""
-    return Study(seed=seed)
+@lru_cache(maxsize=8)
+def _study_for_config(config):
+    return Study(config=config)
+
+
+def get_study(config=None, seed=None):
+    """The memoized study context for a config.
+
+    Back-compat shim: ``get_study(seed=7)`` and the legacy positional
+    ``get_study(7)`` both promote the bare seed to
+    ``StudyConfig(seed=7)``.  Equal configs share one :class:`Study`.
+    """
+    if isinstance(config, int):
+        config, seed = None, config
+    if config is None:
+        config = StudyConfig(seed=DEFAULT_SEED if seed is None else seed)
+    elif seed is not None and seed != config.seed:
+        raise ValueError("pass either a config or a seed, not both")
+    return _study_for_config(config)

@@ -42,6 +42,23 @@ class TestCommands:
         assert len(reachable) == 1151
         assert all("issuer" in row for row in reachable)
 
+    def test_probe_parallel_identical_output(self, tmp_path, study,
+                                             capsys):
+        serial_out = tmp_path / "serial.jsonl"
+        parallel_out = tmp_path / "parallel.jsonl"
+        assert main(["probe", "-o", str(serial_out)]) == 0
+        assert main(["probe", "-o", str(parallel_out),
+                     "--jobs", "4", "--stats"]) == 0
+        assert serial_out.read_text() == parallel_out.read_text()
+        text = capsys.readouterr().out
+        assert "retries" in text and "outcomes" in text
+
+    def test_probe_flag_defaults(self):
+        args = build_parser().parse_args(["probe"])
+        assert args.jobs == 1
+        assert args.retries == 3
+        assert args.stats is False
+
     def test_report_to_stdout(self, study, capsys):
         assert main(["report", "-o", "-"]) == 0
         text = capsys.readouterr().out

@@ -21,9 +21,9 @@ class TestPipelineCompleteness:
         "preferred_components",
     }
     SERVER_KEYS = {
-        "issuers", "survey", "validation_failures", "private_issuer_rows",
-        "expired", "ct", "netflix", "ct_private_figure", "slds",
-        "sld_stats", "geo", "lab",
+        "probe_stats", "issuers", "survey", "validation_failures",
+        "private_issuer_rows", "expired", "ct", "netflix",
+        "ct_private_figure", "slds", "sld_stats", "geo", "lab",
     }
 
     def test_client_keys(self, results):
