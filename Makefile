@@ -1,36 +1,59 @@
 # Convenience targets for the reproduction repository.
+#
+# Every target that imports `repro` sets PYTHONPATH=src so all of them
+# work from a clean checkout, with no `make install` required.
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-probe report figures examples clean
+.PHONY: install test lint check bench bench-probe bench-obs report \
+        figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
+
+# Lightweight lint: everything must byte-compile, and `print(` is banned
+# in src/repro outside the CLI (library code reports via repro.obs).
+lint:
+	$(PYTHON) -m compileall -q src/repro tests benchmarks examples
+	@bad=$$(grep -rn --include='*.py' '^[[:space:]]*print(' src/repro \
+	    | grep -v '^src/repro/cli\.py:' || true); \
+	if [ -n "$$bad" ]; then \
+	    echo "lint: bare print() outside src/repro/cli.py:"; \
+	    echo "$$bad"; exit 1; \
+	fi
+	@echo "lint: ok"
+
+check: test lint
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-probe:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_probe_engine.py \
 	    --jobs 4 -o BENCH_probe.json
 
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_overhead.py \
+	    -o BENCH_obs.json
+
 report:
-	$(PYTHON) -m repro report -o study_report.md
+	PYTHONPATH=src $(PYTHON) -m repro report -o study_report.md
 
 figures:
-	$(PYTHON) -m repro figures -o figure_data
+	PYTHONPATH=src $(PYTHON) -m repro figures -o figure_data
 
 examples:
-	$(PYTHON) examples/quickstart.py
-	$(PYTHON) examples/fingerprint_audit.py Samsung
-	$(PYTHON) examples/certificate_audit.py Roku
-	$(PYTHON) examples/supply_chain_discovery.py
-	$(PYTHON) examples/smart_tv_case_study.py
-	$(PYTHON) examples/acme_migration.py Tuya
+	PYTHONPATH=src $(PYTHON) examples/quickstart.py
+	PYTHONPATH=src $(PYTHON) examples/fingerprint_audit.py Samsung
+	PYTHONPATH=src $(PYTHON) examples/certificate_audit.py Roku
+	PYTHONPATH=src $(PYTHON) examples/supply_chain_discovery.py
+	PYTHONPATH=src $(PYTHON) examples/smart_tv_case_study.py
+	PYTHONPATH=src $(PYTHON) examples/acme_migration.py Tuya
 
 clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis study_report.md \
-	       figure_data capture.jsonl certificates.jsonl BENCH_probe.json
+	       figure_data capture.jsonl certificates.jsonl BENCH_probe.json \
+	       BENCH_obs.json trace.jsonl *.manifest.json

@@ -1,0 +1,123 @@
+"""Instrumentation-overhead benchmark for ``repro.obs``.
+
+Times ``run_full_study`` (every analysis in the paper, over warmed study
+artifacts) three ways and writes ``BENCH_obs.json``:
+
+1. **disabled** — the default inactive observability context (every
+   span/counter call is a no-op); this is the uninstrumented baseline;
+2. **null_sink** — a live tracer + metrics registry discarding events
+   into a :class:`~repro.obs.sink.NullSink`;
+3. **jsonl_sink** — the full ``--trace`` path, streaming span events to
+   a JSONL file.
+
+Modes are *interleaved* round-robin (disabled, null, jsonl, disabled,
+...) and best-of-N per mode is compared, so slow machine drift between
+repetitions cannot masquerade as instrumentation cost.  The run fails
+(exit 1) if the fully-instrumented mode costs more than
+``--max-overhead`` (default 5%) over the baseline — the contract that
+lets every later perf PR leave tracing on for its before/after story.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
+        [--seed 2023] [--repeat 3] [-o BENCH_obs.json]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro import obs
+from repro.config import StudyConfig
+from repro.core.pipeline import run_full_study
+from repro.study import Study
+
+
+def _interleaved_best(repeat, modes):
+    """Best-of-``repeat`` per mode, modes interleaved round-robin."""
+    best = {name: float("inf") for name, _ in modes}
+    for _ in range(repeat):
+        for name, thunk in modes:
+            started = time.perf_counter()
+            thunk()
+            best[name] = min(best[name],
+                             time.perf_counter() - started)
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timed repetitions per mode; best-of wins "
+                             "(default %(default)s)")
+    parser.add_argument("--max-overhead", type=float, default=5.0,
+                        help="maximum tolerated overhead in percent "
+                             "(default %(default)s)")
+    parser.add_argument("-o", "--output", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    study = Study(config=StudyConfig(seed=args.seed))
+    print("warming study artifacts (world, probes, corpus)...")
+    run_full_study(study)
+
+    span_count = {}
+
+    def null_run():
+        with obs.enabled():
+            run_full_study(study)
+
+    def jsonl_run(path):
+        with obs.enabled(sink=obs.JsonlSink(path)) as ctx:
+            run_full_study(study)
+            span_count["spans"] = len(ctx.tracer.spans)
+        ctx.close()
+
+    print(f"timing run_full_study, interleaved best of "
+          f"{args.repeat} per mode...")
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = pathlib.Path(tmp) / "trace.jsonl"
+        best = _interleaved_best(args.repeat, (
+            ("disabled", lambda: run_full_study(study)),
+            ("null_sink", null_run),
+            ("jsonl_sink", lambda: jsonl_run(trace_path)),
+        ))
+    disabled = best["disabled"]
+    null_sink = best["null_sink"]
+    jsonl_sink = best["jsonl_sink"]
+    print(f"  disabled   {disabled:6.3f}s  (baseline)")
+    print(f"  null sink  {null_sink:6.3f}s  "
+          f"({(null_sink / disabled - 1) * 100:+.2f}%)")
+    print(f"  jsonl sink {jsonl_sink:6.3f}s  "
+          f"({(jsonl_sink / disabled - 1) * 100:+.2f}%)")
+
+    overhead_pct = (jsonl_sink / disabled - 1) * 100
+    ok = overhead_pct < args.max_overhead
+    payload = {
+        "seed": args.seed,
+        "repeat": args.repeat,
+        "spans_per_run": span_count.get("spans", 0),
+        "disabled_seconds": round(disabled, 4),
+        "null_sink_seconds": round(null_sink, 4),
+        "jsonl_sink_seconds": round(jsonl_sink, 4),
+        "null_sink_overhead_pct": round(
+            (null_sink / disabled - 1) * 100, 2),
+        "jsonl_sink_overhead_pct": round(overhead_pct, 2),
+        "max_overhead_pct": args.max_overhead,
+        "within_budget": ok,
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(payload, indent=2) + "\n",
+                    encoding="utf-8")
+    print(f"wrote {path}")
+    if not ok:
+        print(f"FAIL: {overhead_pct:.2f}% overhead exceeds "
+              f"{args.max_overhead}% budget", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Reproduction of "Behind the Scenes: Uncovering TLS and Server
+Certificate Practice of IoT Device Vendors in the Wild" (IMC 2023)."""
+
+#: Package version; recorded in every run manifest (keep in sync with
+#: pyproject.toml).
+__version__ = "1.0.0"

@@ -10,13 +10,24 @@ Commands:
   study report;
 - ``audit``     client- and server-side audit of one vendor;
 - ``whatif``    run the recommendation experiments (ACME adoption, AIA
-  chasing, revocation exposure).
+  chasing, revocation exposure);
+- ``trace-summary``  render a ``--trace`` JSONL file (top spans by
+  self-time, metric table, manifest line).
+
+Observability (``repro.obs``) is active for every command: add
+``--trace trace.jsonl`` to stream span/metric/manifest events to JSONL,
+``--metrics`` to print the metric table, and find a provenance
+``<artifact>.manifest.json`` (seed, config digest, version, stage
+timings, metric snapshot) next to every file a command writes.
 """
 
 import argparse
 import json
 import sys
+import time
 
+from repro import obs
+from repro.obs.manifest import RunManifest, manifest_path_for
 from repro.study import DEFAULT_SEED, StudyConfig, get_study
 
 
@@ -25,11 +36,21 @@ def _add_seed(parser):
                         help="world seed (default %(default)s)")
 
 
+def _add_obs(parser):
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write tracing spans, metric snapshot, and "
+                             "run manifest as JSONL events to PATH")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metric table after the command")
+
+
 def cmd_generate(args):
     from repro.inspector.io import save_records
     study = get_study(StudyConfig(seed=args.seed))
     dataset = study.dataset
-    save_records(dataset.records, args.output)
+    with obs.span("cli.write_output"):
+        save_records(dataset.records, args.output)
+    args.artifacts.append(args.output)
     print(f"wrote {len(dataset.records)} ClientHello records from "
           f"{dataset.device_count} devices ({dataset.vendor_count} "
           f"vendors, {dataset.user_count} users) to {args.output}")
@@ -44,12 +65,15 @@ def cmd_probe(args):
     except ValueError as exc:
         print(f"probe: {exc}", file=sys.stderr)
         return 2
+    args.config = config
     study = get_study(config)
     certificates = study.certificates
     rows = certificates.to_json_rows(ct_logs=study.network.ct_logs)
-    with open(args.output, "w", encoding="utf-8") as handle:
-        for row in rows:
-            handle.write(json.dumps(row) + "\n")
+    with obs.span("cli.write_output"):
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+    args.artifacts.append(args.output)
     reachable = sum(1 for row in rows if row["reachable"])
     print(f"probed {len(rows)} SNIs ({reachable} reachable); "
           f"wrote {args.output}")
@@ -63,12 +87,14 @@ def cmd_report(args):
     from repro.core.report import render_report
     study = get_study(seed=args.seed)
     results = run_full_study(study)
-    text = render_report(results, seed=args.seed)
+    with obs.span("cli.render_report"):
+        text = render_report(results, seed=args.seed)
     if args.output == "-":
         print(text)
     else:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
+        args.artifacts.append(args.output)
         print(f"wrote study report to {args.output}")
     return 0
 
@@ -89,9 +115,12 @@ def cmd_audit(args):
     print(f"devices: {len(dataset.devices_of_vendor(vendor))}")
     print(f"fingerprints: {len(dataset.vendor_fingerprints(vendor))} "
           f"(DoC_vendor {percent(doc_vendor(dataset, vendor))})")
-    matches = validate_case_study(dataset, study.corpus, vendor)
+    with obs.span("analysis.audit.matching"):
+        matches = validate_case_study(dataset, study.corpus, vendor)
     print(f"library matches: {matches or '(none)'}")
-    report = issuer_report(dataset, study.certificates, study.ecosystem)
+    with obs.span("analysis.audit.issuers"):
+        report = issuer_report(dataset, study.certificates,
+                               study.ecosystem)
     ratios = sorted(report.vendor_issuer_ratios(vendor).items(),
                     key=lambda kv: -kv[1])
     print("server certificate issuers seen by its devices:")
@@ -106,7 +135,8 @@ def cmd_whatif(args):
     from repro.core.tables import percent
     study = get_study(seed=args.seed)
     if args.experiment in ("acme", "all"):
-        result = whatif.acme_adoption(study)
+        with obs.span("analysis.whatif.acme"):
+            result = whatif.acme_adoption(study)
         before, after = result["before"], result["after"]
         print(f"[acme] {result['private_leaf_count']} vendor-signed "
               f"leafs: validity max "
@@ -115,11 +145,13 @@ def cmd_whatif(args):
               f"{percent(before['ct_share'])} → "
               f"{percent(after['ct_share'])}")
     if args.experiment in ("aia", "all"):
-        result = whatif.aia_chasing(study)
+        with obs.span("analysis.whatif.aia"):
+            result = whatif.aia_chasing(study)
         print(f"[aia] verdicts fixed by intermediate fetching: "
               f"{len(result['fixed_by_aia'])}")
     if args.experiment in ("revocation", "all"):
-        result = whatif.revocation_exposure(study)
+        with obs.span("analysis.whatif.revocation"):
+            result = whatif.revocation_exposure(study)
         print(f"[revocation] devices with no revocation path: "
               f"{result['devices_exposed_no_revocation_path']} "
               f"(protected: "
@@ -130,8 +162,20 @@ def cmd_whatif(args):
 def cmd_figures(args):
     from repro.core.figures import export_all
     study = get_study(seed=args.seed)
-    written = export_all(study, args.output)
+    with obs.span("cli.write_output"):
+        written = export_all(study, args.output)
+    args.artifacts.append(args.output)
     print(f"wrote {len(written)} figure data files under {args.output}")
+    return 0
+
+
+def cmd_trace_summary(args):
+    from repro.obs.summary import summarize_file
+    try:
+        print(summarize_file(args.trace_file, top=args.top))
+    except (OSError, ValueError) as exc:
+        print(f"trace-summary: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -145,6 +189,7 @@ def build_parser():
         "generate", help="generate the world, save the capture as JSONL")
     _add_seed(p_generate)
     p_generate.add_argument("-o", "--output", default="capture.jsonl")
+    _add_obs(p_generate)
     p_generate.set_defaults(func=cmd_generate)
 
     p_probe = sub.add_parser(
@@ -161,6 +206,7 @@ def build_parser():
     p_probe.add_argument("--stats", action="store_true",
                          help="print probe engine telemetry (attempts, "
                               "retries, error taxonomy)")
+    _add_obs(p_probe)
     p_probe.set_defaults(func=cmd_probe)
 
     p_report = sub.add_parser(
@@ -168,17 +214,20 @@ def build_parser():
     _add_seed(p_report)
     p_report.add_argument("-o", "--output", default="study_report.md",
                           help="output path, or '-' for stdout")
+    _add_obs(p_report)
     p_report.set_defaults(func=cmd_report)
 
     p_audit = sub.add_parser("audit", help="audit one vendor")
     _add_seed(p_audit)
     p_audit.add_argument("vendor")
+    _add_obs(p_audit)
     p_audit.set_defaults(func=cmd_audit)
 
     p_figures = sub.add_parser(
         "figures", help="export plot-ready JSON data for every figure")
     _add_seed(p_figures)
     p_figures.add_argument("-o", "--output", default="figure_data")
+    _add_obs(p_figures)
     p_figures.set_defaults(func=cmd_figures)
 
     p_whatif = sub.add_parser(
@@ -186,14 +235,57 @@ def build_parser():
     _add_seed(p_whatif)
     p_whatif.add_argument("experiment",
                           choices=("acme", "aia", "revocation", "all"))
+    _add_obs(p_whatif)
     p_whatif.set_defaults(func=cmd_whatif)
+
+    p_trace = sub.add_parser(
+        "trace-summary",
+        help="render a --trace JSONL file (top spans, metrics, manifest)")
+    p_trace.add_argument("trace_file")
+    p_trace.add_argument("--top", type=int, default=15,
+                         help="span names to show (default %(default)s)")
+    p_trace.set_defaults(func=cmd_trace_summary)
     return parser
+
+
+def _run_observed(args):
+    """Run one study command inside a live observability context."""
+    from repro.obs.summary import metric_table
+    sink = obs.JsonlSink(args.trace) if args.trace else None
+    ctx = obs.Observability(sink=sink)
+    args.artifacts = []
+    started_at = time.time()
+    previous = obs.activate(ctx)
+    try:
+        with ctx.span(f"cli.{args.command}"):
+            code = args.func(args)
+    finally:
+        obs.deactivate(previous)
+    manifest = RunManifest.from_run(
+        command=args.command,
+        config=getattr(args, "config", None)
+        or StudyConfig(seed=args.seed),
+        obs_ctx=ctx, outputs=args.artifacts,
+        started_at=started_at, finished_at=time.time())
+    ctx.sink.emit({"type": "manifest", "manifest": manifest.to_json()})
+    ctx.close()
+    for artifact in args.artifacts:
+        manifest.write(manifest_path_for(artifact))
+    if args.trace:
+        print(f"wrote trace to {args.trace} "
+              f"({sink.events_written} events)")
+    if args.metrics:
+        print("metrics:")
+        print("\n".join(metric_table(ctx.metrics.snapshot())))
+    return code
 
 
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.command == "trace-summary":
+        return args.func(args)
+    return _run_observed(args)
 
 
 if __name__ == "__main__":

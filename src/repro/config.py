@@ -10,7 +10,9 @@ The old ``get_study(seed=...)`` call sites keep working: a bare seed is
 promoted to ``StudyConfig(seed=...)`` by the shim in :mod:`repro.study`.
 """
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from repro.probing.engine import RetryPolicy
 from repro.probing.vantage import VANTAGE_POINTS
@@ -55,3 +57,22 @@ class StudyConfig:
         return StudyConfig(seed=seed, vantages=self.vantages,
                            probe_jobs=self.probe_jobs, retry=self.retry,
                            trust_stores=self.trust_stores)
+
+    def digest(self):
+        """A stable content hash of every field (run-manifest identity).
+
+        Two configs digest equally iff they compare equal; the digest is
+        stable across processes (canonical JSON, not ``hash()``), which
+        is what lets a :class:`~repro.obs.manifest.RunManifest` written
+        by one run be checked against a config built by another.
+        """
+        payload = {
+            "seed": self.seed,
+            "vantages": [asdict(vantage) for vantage in self.vantages],
+            "probe_jobs": self.probe_jobs,
+            "retry": asdict(self.retry),
+            "trust_stores": list(self.trust_stores),
+        }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -3,8 +3,16 @@
 ``run_full_study`` executes every analysis in paper order and returns a
 nested dict of results — the programmatic equivalent of regenerating all
 tables and figures.  Examples and the integration tests drive this.
+
+Every analysis runs inside its own ``repro.obs`` span
+(``analysis.client.<name>`` / ``analysis.server.<name>``), so a traced
+run (``repro report --trace trace.jsonl``) shows exactly where the
+pipeline's time goes, stage by stage — the before/after story every
+later optimization PR builds on.  With observability disabled (the
+default) the spans are no-ops.
 """
 
+from repro import obs
 from repro.core import (
     chains,
     ct_validity,
@@ -23,72 +31,115 @@ from repro.core import (
 from repro.inspector.timeline import PROBE_TIME
 
 
+def _staged(side, results):
+    """A stage runner: ``stage(name, thunk)`` spans and stores one
+    analysis, counting it on the enclosing side's span."""
+    def stage(name, thunk, key=None):
+        with obs.span(f"analysis.{side}.{name}"):
+            results[key or name] = thunk()
+    return stage
+
+
 def run_client_side(study):
     """Section 4 + Appendix B analyses."""
-    dataset, corpus = study.dataset, study.corpus
-    match_report = matching.match_against_corpus(dataset, corpus)
-    semantic = semantics.semantic_fingerprinting(dataset, corpus)
-    tie_fraction, ties = sharing.server_specific_fingerprints(dataset,
-                                                              corpus)
-    return {
-        "matching": match_report,
-        "degree_distribution": customization.degree_distribution(dataset),
-        "doc_vendor": customization.doc_vendor_all(dataset),
-        "doc_device": customization.doc_device_all(dataset),
-        "heterogeneity": customization.top_vendor_heterogeneity(dataset),
-        "vulnerability": security.vulnerability_report(dataset),
-        "jaccard_pairs": sharing.vendor_similarity_pairs(dataset),
-        "server_tie_fraction": tie_fraction,
-        "server_ties": ties,
-        "semantic_summary": semantics.semantic_summary(semantic),
-        "versions": params.version_proposals(dataset),
-        "fallback": params.fallback_scsv_usage(dataset),
-        "ocsp": params.ocsp_usage(dataset),
-        "grease": params.grease_usage(dataset),
-        "lowest_vulnerable_index":
-            preferences.lowest_vulnerable_index(dataset),
-        "clean_vendors": preferences.vendors_without_vulnerable(dataset),
-        "preferred_components": preferences.preferred_components(dataset),
-    }
+    with obs.span("analysis.client") as side_span:
+        dataset, corpus = study.dataset, study.corpus
+        results = {}
+        stage = _staged("client", results)
+        stage("matching",
+              lambda: matching.match_against_corpus(dataset, corpus))
+        stage("degree_distribution",
+              lambda: customization.degree_distribution(dataset))
+        stage("doc_vendor", lambda: customization.doc_vendor_all(dataset))
+        stage("doc_device", lambda: customization.doc_device_all(dataset))
+        stage("heterogeneity",
+              lambda: customization.top_vendor_heterogeneity(dataset))
+        stage("vulnerability",
+              lambda: security.vulnerability_report(dataset))
+        stage("jaccard",
+              lambda: sharing.vendor_similarity_pairs(dataset),
+              key="jaccard_pairs")
+        with obs.span("analysis.client.server_proxy"):
+            tie_fraction, ties = sharing.server_specific_fingerprints(
+                dataset, corpus)
+            results["server_tie_fraction"] = tie_fraction
+            results["server_ties"] = ties
+        with obs.span("analysis.client.semantics"):
+            semantic = semantics.semantic_fingerprinting(dataset, corpus)
+            results["semantic_summary"] = semantics.semantic_summary(
+                semantic)
+        stage("versions", lambda: params.version_proposals(dataset))
+        stage("fallback", lambda: params.fallback_scsv_usage(dataset))
+        stage("ocsp", lambda: params.ocsp_usage(dataset))
+        stage("grease", lambda: params.grease_usage(dataset))
+        stage("lowest_vulnerable_index",
+              lambda: preferences.lowest_vulnerable_index(dataset))
+        stage("clean_vendors",
+              lambda: preferences.vendors_without_vulnerable(dataset))
+        stage("preferred_components",
+              lambda: preferences.preferred_components(dataset))
+        side_span.incr("analyses", len(results))
+    return results
 
 
 def run_server_side(study):
     """Section 5 + Appendix C analyses."""
-    dataset = study.dataset
-    certificates = study.certificates
-    ecosystem = study.ecosystem
-    validator = study.validator()
-    survey = chains.validate_all(certificates, validator, at=PROBE_TIME)
-    issuer_rep = issuers.issuer_report(dataset, certificates, ecosystem)
-    ct_rep = ct_validity.ct_report(dataset, certificates, survey,
-                                   ecosystem, study.network.ct_logs)
-    sld_rows = slds.sld_rows(dataset, certificates)
-    return {
-        "probe_stats": (certificates.stats.to_json()
-                        if certificates.stats is not None else None),
-        "issuers": issuer_rep,
-        "survey": survey,
-        "validation_failures": chains.validation_failure_rows(
-            survey, dataset, ecosystem),
-        "private_issuer_rows": chains.private_issuer_rows(
-            survey, dataset, ecosystem),
-        "expired": chains.expired_rows(certificates, dataset),
-        "ct": ct_rep,
-        "netflix": ct_validity.netflix_rows(certificates,
-                                            study.network.ct_logs),
-        "ct_private_figure": ct_validity.private_chain_ct_figure(
-            survey, ecosystem, study.network.ct_logs),
-        "slds": sld_rows,
-        "sld_stats": slds.sld_statistics(sld_rows),
-        "geo": geo.geo_comparison(certificates),
-        "lab": labcompare.lab_comparison(dataset, certificates,
-                                         study.network),
-    }
+    with obs.span("analysis.server") as side_span:
+        dataset = study.dataset
+        certificates = study.certificates
+        ecosystem = study.ecosystem
+        validator = study.validator()
+        with obs.span("validate.chain") as span:
+            survey = chains.validate_all(certificates, validator,
+                                         at=PROBE_TIME)
+            span.incr("chains", len(survey.reports))
+        results = {
+            "probe_stats": (certificates.stats.to_json()
+                            if certificates.stats is not None else None),
+            "survey": survey,
+        }
+        stage = _staged("server", results)
+        stage("issuers",
+              lambda: issuers.issuer_report(dataset, certificates,
+                                            ecosystem))
+        stage("validation_failures",
+              lambda: chains.validation_failure_rows(survey, dataset,
+                                                     ecosystem))
+        stage("private_issuers",
+              lambda: chains.private_issuer_rows(survey, dataset,
+                                                 ecosystem),
+              key="private_issuer_rows")
+        stage("expired", lambda: chains.expired_rows(certificates,
+                                                     dataset))
+        stage("ct",
+              lambda: ct_validity.ct_report(dataset, certificates,
+                                            survey, ecosystem,
+                                            study.network.ct_logs))
+        stage("netflix",
+              lambda: ct_validity.netflix_rows(certificates,
+                                               study.network.ct_logs))
+        stage("ct_private_figure",
+              lambda: ct_validity.private_chain_ct_figure(
+                  survey, ecosystem, study.network.ct_logs))
+        with obs.span("analysis.server.slds"):
+            sld_rows = slds.sld_rows(dataset, certificates)
+            results["slds"] = sld_rows
+            results["sld_stats"] = slds.sld_statistics(sld_rows)
+        stage("geo", lambda: geo.geo_comparison(certificates))
+        stage("lab",
+              lambda: labcompare.lab_comparison(dataset, certificates,
+                                                study.network))
+        side_span.incr("analyses", len(results))
+    return {key: results[key] for key in (
+        "probe_stats", "issuers", "survey", "validation_failures",
+        "private_issuer_rows", "expired", "ct", "netflix",
+        "ct_private_figure", "slds", "sld_stats", "geo", "lab")}
 
 
 def run_full_study(study):
     """Everything, in paper order."""
-    return {
-        "client": run_client_side(study),
-        "server": run_server_side(study),
-    }
+    with obs.span("analysis.full_study"):
+        return {
+            "client": run_client_side(study),
+            "server": run_server_side(study),
+        }

@@ -1,0 +1,57 @@
+"""Structured-event sinks: where the tracer's span events go.
+
+Events are plain dicts with a ``type`` key (``span`` / ``metrics`` /
+``manifest``); :class:`JsonlSink` appends them to a file one JSON object
+per line — the same artifact-friendly shape the rest of the repo uses
+for captures and certificate summaries.  :class:`NullSink` swallows
+events; it is both the disabled-mode default and the baseline for the
+instrumentation-overhead benchmark.
+"""
+
+import json
+import threading
+
+
+class NullSink:
+    """Discards every event (disabled mode / overhead baseline)."""
+
+    def emit(self, event):
+        pass
+
+    def close(self):
+        pass
+
+
+class JsonlSink:
+    """Thread-safe append-only JSONL event writer."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.events_written = 0
+
+    def emit(self, event):
+        line = json.dumps(event, sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self.events_written += 1
+
+    def close(self):
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+def read_events(path):
+    """Load a JSONL event file back into a list of dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

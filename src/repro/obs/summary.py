@@ -1,0 +1,96 @@
+"""``repro trace-summary`` — render a trace JSONL file for humans.
+
+Reconstructs the span tree from the flat event stream (spans carry
+``id``/``parent`` references), aggregates per span name, and prints the
+top names by *self time* — time spent in a stage excluding its children,
+which is the number that tells you where an optimization PR should aim.
+Also renders the metric table and manifest line when the stream carries
+``metrics`` / ``manifest`` events (the CLI always appends them).
+"""
+
+from collections import defaultdict
+
+from repro.obs.metrics import flatten_snapshot
+from repro.obs.sink import read_events
+
+
+def span_rows(events):
+    """Aggregate span events into per-name rows.
+
+    Returns rows sorted by self-time descending:
+    ``{"name", "calls", "total", "self", "max_depth"}``.
+    """
+    spans = [e for e in events if e.get("type") == "span"]
+    child_time = defaultdict(float)
+    for event in spans:
+        if event.get("parent") is not None:
+            child_time[event["parent"]] += event.get("duration", 0.0)
+    rows = {}
+    for event in spans:
+        row = rows.setdefault(event["name"], {
+            "name": event["name"], "calls": 0, "total": 0.0,
+            "self": 0.0, "max_depth": 0})
+        duration = event.get("duration", 0.0)
+        row["calls"] += 1
+        row["total"] += duration
+        row["self"] += max(0.0, duration - child_time.get(event["id"], 0.0))
+        row["max_depth"] = max(row["max_depth"], event.get("depth", 0))
+    return sorted(rows.values(), key=lambda r: (-r["self"], r["name"]))
+
+
+def metric_table(snapshot, indent="  "):
+    """The flattened metric snapshot as aligned text lines."""
+    rows = flatten_snapshot(snapshot)
+    if not rows:
+        return []
+    width = max(len(name) for name, _ in rows)
+    return [f"{indent}{name:<{width}}  {value}" for name, value in rows]
+
+
+def render_summary(events, top=15, source="trace"):
+    """The whole trace, rendered as one human-readable block."""
+    spans = [e for e in events if e.get("type") == "span"]
+    lines = [f"== trace summary: {source} =="]
+    if spans:
+        max_depth = max(e.get("depth", 0) for e in spans)
+        total = sum(e.get("duration", 0.0) for e in spans
+                    if e.get("parent") is None)
+        lines.append(f"spans: {len(spans)}  roots: "
+                     f"{sum(1 for e in spans if e.get('parent') is None)}  "
+                     f"max depth: {max_depth}  "
+                     f"root wall: {total:.3f}s")
+        rows = span_rows(events)
+        width = max(len(r["name"]) for r in rows[:top])
+        lines.append(f"top {min(top, len(rows))} span names by self-time:")
+        lines.append(f"  {'name':<{width}}  calls  total(s)  self(s)")
+        for row in rows[:top]:
+            lines.append(f"  {row['name']:<{width}}  "
+                         f"{row['calls']:>5}  {row['total']:>8.3f}  "
+                         f"{row['self']:>7.3f}")
+    else:
+        lines.append("spans: 0")
+    errors = [e for e in spans if e.get("error")]
+    if errors:
+        lines.append(f"spans with errors: "
+                     + ", ".join(f"{e['name']} ({e['error']})"
+                                 for e in errors))
+    for event in events:
+        if event.get("type") == "metrics":
+            table = metric_table(event.get("snapshot", {}))
+            if table:
+                lines.append("metrics:")
+                lines.extend(table)
+    for event in events:
+        if event.get("type") == "manifest":
+            manifest = event.get("manifest", {})
+            lines.append(
+                f"manifest: command={manifest.get('command')} "
+                f"seed={manifest.get('seed')} "
+                f"config={str(manifest.get('config_digest'))[:12]} "
+                f"version={manifest.get('version')}")
+    return "\n".join(lines)
+
+
+def summarize_file(path, top=15):
+    """Load ``path`` and render it (the CLI entry point)."""
+    return render_summary(read_events(path), top=top, source=str(path))

@@ -36,6 +36,12 @@ that architecture over the simulated Internet:
 - **Telemetry**: a :class:`ProbeStats` aggregate (attempts, retries,
   error taxonomy, latency buckets, per-vantage reachability) rides on the
   returned dataset and surfaces through ``python -m repro probe --stats``.
+  Since the ``repro.obs`` refactor it is a view over a
+  :class:`~repro.obs.metrics.MetricsRegistry` (joining the shared
+  registry when observability is active), ``probe_all`` runs inside a
+  ``probe.all`` tracing span, and ``wall_seconds`` derives from a
+  stopwatch started with that span — so partial/failed runs still report
+  elapsed time.
 """
 
 import threading
@@ -44,6 +50,7 @@ from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro import obs
 from repro.inspector.stacks import stable_rng
 from repro.inspector.timeline import PROBE_TIME
 from repro.probing.certdataset import CertificateDataset
@@ -230,56 +237,128 @@ _LATENCY_BUCKETS = ((0.010, "<10ms"), (0.050, "<50ms"), (0.100, "<100ms"),
 
 
 class ProbeStats:
-    """Thread-safe aggregate telemetry of one ``probe_all`` run."""
+    """Aggregate telemetry of one ``probe_all`` run.
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self.probes = 0
-        self.attempts = 0
-        self.retries = 0
-        self.exhausted = 0
+    Since the ``repro.obs`` refactor this is a thin *view* over a
+    :class:`~repro.obs.metrics.MetricsRegistry` (all instruments under
+    the ``probe.`` prefix), so probe telemetry shows up in the shared
+    metric snapshot, the run manifest, and ``repro trace-summary``
+    exactly like every other stage's.  The PR-1 public surface —
+    ``probes``/``attempts``/``retries``/``exhausted`` ints, ``outcomes``
+    /``faults``/``latency_buckets``/``*_by_vantage`` Counters,
+    ``record_attempt``/``record_result``/``to_json``/``summary`` — is
+    unchanged.  Thread safety now lives in the instruments themselves.
+
+    With no registry supplied it keeps a private one (unit tests, ad-hoc
+    engines); the engine passes :func:`repro.obs.active_registry` so a
+    live CLI run reports into the shared registry.
+    """
+
+    def __init__(self, registry=None):
+        if registry is None:
+            registry = obs.MetricsRegistry()
+        self.registry = registry
+        self._probes = registry.counter("probe.probes")
+        self._attempts = registry.counter("probe.attempts")
+        self._retries = registry.counter("probe.retries")
+        self._exhausted = registry.counter("probe.exhausted")
         #: final-outcome taxonomy: ok / unreachable / tls_error /
         #: exhausted_<fault-category>.
-        self.outcomes = Counter()
+        self._outcomes = registry.family("probe.outcomes")
         #: retryable faults encountered along the way, by category.
-        self.faults = Counter()
+        self._faults = registry.family("probe.faults")
         #: simulated per-attempt RTT histogram.
-        self.latency_buckets = Counter()
-        self.reachable_by_vantage = Counter()
-        self.unreachable_by_vantage = Counter()
-        self.wall_seconds = 0.0
+        self._latency = registry.histogram("probe.latency",
+                                           _LATENCY_BUCKETS)
+        self._reachable = registry.family("probe.reachable_by_vantage")
+        self._unreachable = registry.family(
+            "probe.unreachable_by_vantage")
+        self._clock = None
+        self._wall_override = None
 
-    @staticmethod
-    def _bucket(rtt):
-        for bound, label in _LATENCY_BUCKETS:
-            if rtt < bound:
-                return label
-        return _LATENCY_BUCKETS[-1][1]
+    # -- the PR-1 read surface, as registry views --
+
+    @property
+    def probes(self):
+        return self._probes.value
+
+    @property
+    def attempts(self):
+        return self._attempts.value
+
+    @property
+    def retries(self):
+        return self._retries.value
+
+    @property
+    def exhausted(self):
+        return self._exhausted.value
+
+    @property
+    def outcomes(self):
+        return self._outcomes.as_counter()
+
+    @property
+    def faults(self):
+        return self._faults.as_counter()
+
+    @property
+    def latency_buckets(self):
+        return self._latency.counts
+
+    @property
+    def reachable_by_vantage(self):
+        return self._reachable.as_counter()
+
+    @property
+    def unreachable_by_vantage(self):
+        return self._unreachable.as_counter()
+
+    def attach_clock(self, clock):
+        """Derive ``wall_seconds`` from a running span/stopwatch.
+
+        Anything with a ``duration`` attribute works; the engine passes
+        the :class:`~repro.obs.tracer.Stopwatch` it starts alongside its
+        ``probe.all`` span, so elapsed time is reported live — including
+        for runs that die halfway (the old code only assigned
+        ``wall_seconds`` at the end of a successful ``probe_all``).
+        """
+        self._clock = clock
+
+    @property
+    def wall_seconds(self):
+        if self._wall_override is not None:
+            return self._wall_override
+        if self._clock is not None:
+            return self._clock.duration
+        return 0.0
+
+    @wall_seconds.setter
+    def wall_seconds(self, value):
+        self._wall_override = value
 
     def record_attempt(self, rtt, fault=None):
-        with self._lock:
-            self.attempts += 1
-            self.latency_buckets[self._bucket(rtt)] += 1
-            if fault is not None:
-                self.retries += 1
-                self.faults[fault.category] += 1
+        self._attempts.inc()
+        self._latency.observe(rtt)
+        if fault is not None:
+            self._retries.inc()
+            self._faults.inc(fault.category)
 
     def record_result(self, result, exhausted_category=None):
-        with self._lock:
-            self.probes += 1
-            if exhausted_category is not None:
-                self.exhausted += 1
-                self.outcomes[f"exhausted_{exhausted_category}"] += 1
-            elif not result.reachable:
-                self.outcomes["unreachable"] += 1
-            elif result.error is not None:
-                self.outcomes["tls_error"] += 1
-            else:
-                self.outcomes["ok"] += 1
-            if result.reachable:
-                self.reachable_by_vantage[result.vantage] += 1
-            else:
-                self.unreachable_by_vantage[result.vantage] += 1
+        self._probes.inc()
+        if exhausted_category is not None:
+            self._exhausted.inc()
+            self._outcomes.inc(f"exhausted_{exhausted_category}")
+        elif not result.reachable:
+            self._outcomes.inc("unreachable")
+        elif result.error is not None:
+            self._outcomes.inc("tls_error")
+        else:
+            self._outcomes.inc("ok")
+        if result.reachable:
+            self._reachable.inc(result.vantage)
+        else:
+            self._unreachable.inc(result.vantage)
 
     def to_json(self):
         """The stats as one JSON-ready dict (schema lives here)."""
@@ -400,19 +479,26 @@ class ProbeEngine:
         jobs = [(vantage, fqdn) for vantage in self.vantages
                 for fqdn in snis]
         results = [None] * len(jobs)
-        stats = ProbeStats()
-        started = time.perf_counter()
-        if self.jobs == 1:
-            for index, (vantage, fqdn) in enumerate(jobs):
-                results[index] = self._run_probe(fqdn, vantage, at, stats)
-        else:
-            with ThreadPoolExecutor(max_workers=self.jobs,
-                                    thread_name_prefix="probe") as pool:
-                futures = {
-                    pool.submit(self._run_probe, fqdn, vantage, at,
-                                stats): index
-                    for index, (vantage, fqdn) in enumerate(jobs)}
-                for future in futures:
-                    results[futures[future]] = future.result()
-        stats.wall_seconds = time.perf_counter() - started
+        stats = ProbeStats(registry=obs.active_registry())
+        watch = obs.Stopwatch()
+        stats.attach_clock(watch)
+        with obs.span("probe.all") as span:
+            span.incr("probes", len(jobs)).incr("workers", self.jobs)
+            try:
+                if self.jobs == 1:
+                    for index, (vantage, fqdn) in enumerate(jobs):
+                        results[index] = self._run_probe(fqdn, vantage,
+                                                         at, stats)
+                else:
+                    with ThreadPoolExecutor(
+                            max_workers=self.jobs,
+                            thread_name_prefix="probe") as pool:
+                        futures = {
+                            pool.submit(self._run_probe, fqdn, vantage,
+                                        at, stats): index
+                            for index, (vantage, fqdn) in enumerate(jobs)}
+                        for future in futures:
+                            results[futures[future]] = future.result()
+            finally:
+                watch.stop()
         return CertificateDataset(results, probed_at=at, stats=stats)

@@ -10,6 +10,7 @@ differ only in probe concurrency or trust-store selection share them.
 
 from functools import lru_cache
 
+from repro import obs
 from repro.config import DEFAULT_SEED, MAJOR_STORES, StudyConfig
 from repro.inspector.dataset import InspectorDataset
 from repro.inspector.generator import WorldGenerator
@@ -57,28 +58,35 @@ class Study:
     @property
     def world(self):
         if self._world is None:
-            self._world = _world_for_seed(self.seed)
+            with obs.span("study.world"):
+                self._world = _world_for_seed(self.seed)
         return self._world
 
     @property
     def dataset(self):
         """The ClientHello capture (client-side analyses, Section 4)."""
         if self._dataset is None:
-            self._dataset = InspectorDataset.from_world(self.world)
+            world = self.world
+            with obs.span("study.dataset") as span:
+                self._dataset = InspectorDataset.from_world(world)
+                span.incr("records", len(self._dataset.records))
         return self._dataset
 
     @property
     def corpus(self):
         """The 6,891-entry known-library fingerprint corpus."""
         if self._corpus is None:
-            self._corpus = _shared_corpus()
+            with obs.span("study.corpus"):
+                self._corpus = _shared_corpus()
         return self._corpus
 
     @property
     def network(self):
         """The simulated Internet with issued certificates."""
         if self._network is None:
-            self._network = _network_for_seed(self.seed)
+            self.world  # built (and traced) as its own stage
+            with obs.span("study.network"):
+                self._network = _network_for_seed(self.seed)
         return self._network
 
     @property
@@ -95,23 +103,28 @@ class Study:
         """
         if self._certificates is None:
             snis = [spec.fqdn for spec in self.world.servers]
-            engine = ProbeEngine(self.network,
-                                 vantages=self.config.vantages,
-                                 jobs=self.config.probe_jobs,
-                                 retry=self.config.retry)
-            self._certificates = engine.probe_all(snis)
+            network = self.network
+            with obs.span("study.certificates") as span:
+                engine = ProbeEngine(network,
+                                     vantages=self.config.vantages,
+                                     jobs=self.config.probe_jobs,
+                                     retry=self.config.retry)
+                self._certificates = engine.probe_all(snis)
+                span.incr("snis", len(snis))
+                span.incr("jobs", self.config.probe_jobs)
         return self._certificates
 
     @property
     def trust_store(self):
         """The union of the config's selected major stores (built once)."""
         if self._trust_store is None:
-            if tuple(self.config.trust_stores) == MAJOR_STORES:
-                self._trust_store = self.ecosystem.union_store
-            else:
-                selected = [self.ecosystem.stores[name]
-                            for name in self.config.trust_stores]
-                self._trust_store = selected[0].union(*selected[1:])
+            with obs.span("study.trust_store"):
+                if tuple(self.config.trust_stores) == MAJOR_STORES:
+                    self._trust_store = self.ecosystem.union_store
+                else:
+                    selected = [self.ecosystem.stores[name]
+                                for name in self.config.trust_stores]
+                    self._trust_store = selected[0].union(*selected[1:])
         return self._trust_store
 
     def validator(self):

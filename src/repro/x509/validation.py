@@ -19,6 +19,7 @@ status taxonomy that drives Tables 7, 8, 14, and 17:
 import enum
 from dataclasses import dataclass
 
+from repro import obs
 from repro.x509.chain import build_path
 
 
@@ -111,6 +112,9 @@ class ChainValidator:
                             for cert in path.certificates)
         hostname_ok = leaf.covers_host(hostname) if hostname else None
         status = self._primary_status(leaf, path, expired, not_yet_valid)
+        obs.incr("validate.status", status.value)
+        if hostname_ok is False:
+            obs.incr("validate.cn_mismatch")
         return ValidationReport(
             status=status,
             hostname_ok=hostname_ok,
