@@ -5,8 +5,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check bench bench-probe bench-obs report \
-        figures examples clean
+.PHONY: install test lint check bench bench-probe bench-obs \
+        bench-store report figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -39,6 +39,10 @@ bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs_overhead.py \
 	    -o BENCH_obs.json
 
+bench-store:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_store.py \
+	    -o BENCH_store.json
+
 report:
 	PYTHONPATH=src $(PYTHON) -m repro report -o study_report.md
 
@@ -56,4 +60,5 @@ examples:
 clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis study_report.md \
 	       figure_data capture.jsonl certificates.jsonl BENCH_probe.json \
-	       BENCH_obs.json trace.jsonl *.manifest.json
+	       BENCH_obs.json BENCH_store.json trace.jsonl *.manifest.json \
+	       .repro-cache

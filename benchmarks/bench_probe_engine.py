@@ -33,7 +33,7 @@ from repro.probing.engine import (
     ProbeEngine,
     RetryPolicy,
 )
-from repro.study import get_study
+from repro.study import StudyConfig, get_study
 
 
 def _timed_probe(engine, snis):
@@ -53,7 +53,7 @@ def main(argv=None):
     parser.add_argument("-o", "--output", default="BENCH_probe.json")
     args = parser.parse_args(argv)
 
-    study = get_study(seed=args.seed)
+    study = get_study(StudyConfig(seed=args.seed))
     network = study.network
     snis = [spec.fqdn for spec in study.world.servers]
     latency = LatencyModel(seed=args.seed)

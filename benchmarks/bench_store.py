@@ -1,0 +1,105 @@
+"""Benchmark: warm-over-cold speedup of the content-addressed store.
+
+Runs ``python -m repro report`` as real subprocesses (each one pays
+interpreter start-up, world generation, probing, and analysis exactly
+like a user invocation) three ways:
+
+- **no-cache** — the pre-store baseline (``--no-cache``);
+- **cold** — caching enabled against an empty ``--cache-dir`` (pays the
+  baseline work *plus* serializing every artifact);
+- **warm** — the same command again: every analysis result, the capture,
+  and the certificate dataset come back from the store, so neither the
+  world generator nor the prober runs at all.
+
+Writes ``BENCH_store.json`` with the three wall-clocks and the
+warm-over-cold speedup (the PR's acceptance asks for >= 3x; in practice
+it is one to two orders of magnitude).
+
+Run: ``make bench-store`` or
+``PYTHONPATH=src python benchmarks/bench_store.py -o BENCH_store.json``
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def _run_report(cache_args, seed, outdir, tag):
+    """One ``repro report`` subprocess; returns (seconds, report path)."""
+    out = outdir / f"report-{tag}.md"
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    command = [sys.executable, "-m", "repro", "report",
+               "--seed", str(seed), "-o", str(out)] + cache_args
+    started = time.perf_counter()
+    subprocess.run(command, check=True, env=env,
+                   stdout=subprocess.DEVNULL)
+    return time.perf_counter() - started, out
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("-o", "--output", default="BENCH_store.json")
+    args = parser.parse_args(argv)
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-store-"))
+    cache_dir = workdir / "cache"
+    try:
+        print("repro report, no cache (baseline)...")
+        no_cache_seconds, baseline = _run_report(
+            ["--no-cache"], args.seed, workdir, "nocache")
+        print(f"  no-cache  {no_cache_seconds:6.2f}s")
+
+        print("repro report, cold cache...")
+        cold_seconds, cold = _run_report(
+            ["--cache-dir", str(cache_dir)], args.seed, workdir, "cold")
+        print(f"  cold      {cold_seconds:6.2f}s")
+
+        print("repro report, warm cache...")
+        warm_seconds, warm = _run_report(
+            ["--cache-dir", str(cache_dir)], args.seed, workdir, "warm")
+        print(f"  warm      {warm_seconds:6.2f}s")
+
+        identical = (baseline.read_bytes() == cold.read_bytes()
+                     == warm.read_bytes())
+        cache_bytes = sum(f.stat().st_size
+                          for f in cache_dir.rglob("*") if f.is_file())
+        speedup = cold_seconds / warm_seconds
+        print(f"  identical output: {identical}; "
+              f"cache {cache_bytes / 1e6:.1f} MB; "
+              f"warm-over-cold {speedup:.1f}x")
+
+        payload = {
+            "benchmark": "artifact_store_warm_report",
+            "seed": args.seed,
+            "no_cache_seconds": round(no_cache_seconds, 3),
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 3),
+            "warm_over_cold_speedup": round(speedup, 2),
+            "cache_bytes": cache_bytes,
+            "outputs_identical": identical,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+        if not identical:
+            print("ERROR: cached report differs from baseline",
+                  file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,29 +11,72 @@ Commands:
 - ``audit``     client- and server-side audit of one vendor;
 - ``whatif``    run the recommendation experiments (ACME adoption, AIA
   chasing, revocation exposure);
+- ``figures``   export plot-ready JSON data for every figure;
+- ``cache``     inspect (``stats``) or empty (``clear``) the artifact
+  store;
 - ``trace-summary``  render a ``--trace`` JSONL file (top spans by
   self-time, metric table, manifest line).
+
+Every study command is *config-first*: the shared flags ``--seed``,
+``--jobs``, ``--retries``, and ``--trust-stores`` build one
+:class:`~repro.config.StudyConfig` (via :func:`config_from_args`), so no
+command silently drops an engine knob.
+
+Caching: pass ``--cache-dir DIR`` (or set ``REPRO_CACHE_DIR``) to reuse
+expensive artifacts — the capture, the certificate dataset, every
+analysis result — across invocations via the content-addressed
+:class:`~repro.store.artifact.ArtifactStore`; ``repro report`` after
+``repro probe`` then reuses the probe artifact, and an unchanged re-run
+is near-instant.  ``--no-cache`` bypasses the store even when the
+environment variable is set.
 
 Observability (``repro.obs``) is active for every command: add
 ``--trace trace.jsonl`` to stream span/metric/manifest events to JSONL,
 ``--metrics`` to print the metric table, and find a provenance
 ``<artifact>.manifest.json`` (seed, config digest, version, stage
-timings, metric snapshot) next to every file a command writes.
+timings, metric snapshot, cache traffic) next to every file a command
+writes.
 """
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from repro import obs
+from repro.config import MAJOR_STORES
 from repro.obs.manifest import RunManifest, manifest_path_for
 from repro.study import DEFAULT_SEED, StudyConfig, get_study
 
+#: cache directory used when --cache-dir is absent ($REPRO_CACHE_DIR
+#: overrides; caching stays off when neither is set).
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
-def _add_seed(parser):
+
+def _add_config(parser):
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
                         help="world seed (default %(default)s)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker threads for probing and analysis "
+                             "(default %(default)s; output is identical "
+                             "for any value)")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="attempt budget per probe "
+                             "(default %(default)s)")
+    parser.add_argument("--trust-stores", metavar="NAMES",
+                        default=",".join(MAJOR_STORES),
+                        help="comma-separated major stores the validator "
+                             "unions (default %(default)s)")
+
+
+def _add_cache(parser):
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="artifact store directory (default "
+                             f"${ENV_CACHE_DIR}; caching is off when "
+                             "neither is set)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the artifact store entirely")
 
 
 def _add_obs(parser):
@@ -44,9 +87,52 @@ def _add_obs(parser):
                         help="print the metric table after the command")
 
 
+def config_from_args(args):
+    """The full :class:`StudyConfig` a study command's flags describe."""
+    from repro.probing.engine import RetryPolicy
+    stores = tuple(name.strip()
+                   for name in args.trust_stores.split(",")
+                   if name.strip())
+    return StudyConfig(seed=args.seed, probe_jobs=args.jobs,
+                       retry=RetryPolicy(max_attempts=args.retries),
+                       trust_stores=stores)
+
+
+def store_from_args(args):
+    """The artifact store the flags select, or ``None`` (caching off)."""
+    from repro.store import ArtifactStore
+    if getattr(args, "no_cache", False):
+        return None
+    root = getattr(args, "cache_dir", None) or \
+        os.environ.get(ENV_CACHE_DIR)
+    return ArtifactStore(root) if root else None
+
+
+def _study_from_args(args):
+    """Build config + store + memoized study; records both on ``args``.
+
+    Raises ``ValueError`` on an invalid flag combination; study commands
+    catch it and exit 2.
+    """
+    config = config_from_args(args)
+    args.config = config
+    args.store = store_from_args(args)
+    return get_study(config).attach_store(args.store)
+
+
+def _study_or_status(args):
+    try:
+        return _study_from_args(args), 0
+    except ValueError as exc:
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return None, 2
+
+
 def cmd_generate(args):
     from repro.inspector.io import save_records
-    study = get_study(StudyConfig(seed=args.seed))
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
     dataset = study.dataset
     with obs.span("cli.write_output"):
         save_records(dataset.records, args.output)
@@ -58,15 +144,9 @@ def cmd_generate(args):
 
 
 def cmd_probe(args):
-    from repro.probing.engine import RetryPolicy
-    try:
-        config = StudyConfig(seed=args.seed, probe_jobs=args.jobs,
-                             retry=RetryPolicy(max_attempts=args.retries))
-    except ValueError as exc:
-        print(f"probe: {exc}", file=sys.stderr)
-        return 2
-    args.config = config
-    study = get_study(config)
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
     certificates = study.certificates
     rows = certificates.to_json_rows(ct_logs=study.network.ct_logs)
     with obs.span("cli.write_output"):
@@ -85,8 +165,10 @@ def cmd_probe(args):
 def cmd_report(args):
     from repro.core.pipeline import run_full_study
     from repro.core.report import render_report
-    study = get_study(seed=args.seed)
-    results = run_full_study(study)
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    results = run_full_study(study, jobs=args.jobs)
     with obs.span("cli.render_report"):
         text = render_report(results, seed=args.seed)
     if args.output == "-":
@@ -104,7 +186,9 @@ def cmd_audit(args):
     from repro.core.issuers import issuer_report
     from repro.core.matching import validate_case_study
     from repro.core.tables import percent
-    study = get_study(seed=args.seed)
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
     dataset = study.dataset
     vendor = args.vendor
     if vendor not in dataset.vendor_names():
@@ -133,7 +217,9 @@ def cmd_audit(args):
 def cmd_whatif(args):
     from repro.core import whatif
     from repro.core.tables import percent
-    study = get_study(seed=args.seed)
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
     if args.experiment in ("acme", "all"):
         with obs.span("analysis.whatif.acme"):
             result = whatif.acme_adoption(study)
@@ -161,11 +247,48 @@ def cmd_whatif(args):
 
 def cmd_figures(args):
     from repro.core.figures import export_all
-    study = get_study(seed=args.seed)
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
     with obs.span("cli.write_output"):
         written = export_all(study, args.output)
     args.artifacts.append(args.output)
     print(f"wrote {len(written)} figure data files under {args.output}")
+    return 0
+
+
+def _cache_store(args):
+    from repro.store import ArtifactStore
+    root = args.cache_dir or os.environ.get(ENV_CACHE_DIR)
+    if not root:
+        print(f"cache: no cache directory (pass --cache-dir or set "
+              f"${ENV_CACHE_DIR})", file=sys.stderr)
+        return None
+    return ArtifactStore(root)
+
+
+def cmd_cache_stats(args):
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    stats = store.stats()
+    print(f"cache {stats['dir']} (current version "
+          f"{stats['version']}): {stats['entries']} entries, "
+          f"{stats['bytes'] / 1e6:.1f} MB")
+    for stage, count in stats["by_stage"].items():
+        print(f"  {stage:40s} {count}")
+    for version, count in stats["by_version"].items():
+        marker = "" if version == stats["version"] else "  (stale)"
+        print(f"  version {version}: {count} entries{marker}")
+    return 0
+
+
+def cmd_cache_clear(args):
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    removed = store.clear()
+    print(f"removed {removed} entries from {store.root}")
     return 0
 
 
@@ -179,64 +302,71 @@ def cmd_trace_summary(args):
     return 0
 
 
+def _add_study_command(sub, name, help_text, func):
+    parser = sub.add_parser(name, help=help_text)
+    _add_config(parser)
+    _add_cache(parser)
+    parser.set_defaults(func=func)
+    return parser
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Behind the Scenes' (IMC 2023)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_generate = sub.add_parser(
-        "generate", help="generate the world, save the capture as JSONL")
-    _add_seed(p_generate)
+    p_generate = _add_study_command(
+        sub, "generate",
+        "generate the world, save the capture as JSONL", cmd_generate)
     p_generate.add_argument("-o", "--output", default="capture.jsonl")
     _add_obs(p_generate)
-    p_generate.set_defaults(func=cmd_generate)
 
-    p_probe = sub.add_parser(
-        "probe", help="probe all SNIs, save per-server cert summary")
-    _add_seed(p_probe)
+    p_probe = _add_study_command(
+        sub, "probe", "probe all SNIs, save per-server cert summary",
+        cmd_probe)
     p_probe.add_argument("-o", "--output", default="certificates.jsonl")
-    p_probe.add_argument("--jobs", type=int, default=1,
-                         help="probe engine worker threads "
-                              "(default %(default)s; output is identical "
-                              "for any value)")
-    p_probe.add_argument("--retries", type=int, default=3,
-                         help="attempt budget per probe "
-                              "(default %(default)s)")
     p_probe.add_argument("--stats", action="store_true",
                          help="print probe engine telemetry (attempts, "
                               "retries, error taxonomy)")
     _add_obs(p_probe)
-    p_probe.set_defaults(func=cmd_probe)
 
-    p_report = sub.add_parser(
-        "report", help="run the full pipeline, write the markdown report")
-    _add_seed(p_report)
+    p_report = _add_study_command(
+        sub, "report", "run the full pipeline, write the markdown report",
+        cmd_report)
     p_report.add_argument("-o", "--output", default="study_report.md",
                           help="output path, or '-' for stdout")
     _add_obs(p_report)
-    p_report.set_defaults(func=cmd_report)
 
-    p_audit = sub.add_parser("audit", help="audit one vendor")
-    _add_seed(p_audit)
+    p_audit = _add_study_command(sub, "audit", "audit one vendor",
+                                 cmd_audit)
     p_audit.add_argument("vendor")
     _add_obs(p_audit)
-    p_audit.set_defaults(func=cmd_audit)
 
-    p_figures = sub.add_parser(
-        "figures", help="export plot-ready JSON data for every figure")
-    _add_seed(p_figures)
+    p_figures = _add_study_command(
+        sub, "figures", "export plot-ready JSON data for every figure",
+        cmd_figures)
     p_figures.add_argument("-o", "--output", default="figure_data")
     _add_obs(p_figures)
-    p_figures.set_defaults(func=cmd_figures)
 
-    p_whatif = sub.add_parser(
-        "whatif", help="run the recommendation experiments")
-    _add_seed(p_whatif)
+    p_whatif = _add_study_command(
+        sub, "whatif", "run the recommendation experiments", cmd_whatif)
     p_whatif.add_argument("experiment",
                           choices=("acme", "aia", "revocation", "all"))
     _add_obs(p_whatif)
-    p_whatif.set_defaults(func=cmd_whatif)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the artifact store")
+    cache_sub = p_cache.add_subparsers(dest="cache_command",
+                                       required=True)
+    p_stats = cache_sub.add_parser(
+        "stats", help="entry counts, bytes, per-stage breakdown")
+    p_stats.add_argument("--cache-dir", metavar="DIR", default=None)
+    p_stats.set_defaults(func=cmd_cache_stats)
+    p_clear = cache_sub.add_parser(
+        "clear", help="delete every cached artifact (all versions)")
+    p_clear.add_argument("--cache-dir", metavar="DIR", default=None)
+    p_clear.set_defaults(func=cmd_cache_clear)
 
     p_trace = sub.add_parser(
         "trace-summary",
@@ -266,7 +396,8 @@ def _run_observed(args):
         config=getattr(args, "config", None)
         or StudyConfig(seed=args.seed),
         obs_ctx=ctx, outputs=args.artifacts,
-        started_at=started_at, finished_at=time.time())
+        started_at=started_at, finished_at=time.time(),
+        store=getattr(args, "store", None))
     ctx.sink.emit({"type": "manifest", "manifest": manifest.to_json()})
     ctx.close()
     for artifact in args.artifacts:
@@ -283,7 +414,7 @@ def _run_observed(args):
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "trace-summary":
+    if args.command in ("trace-summary", "cache"):
         return args.func(args)
     return _run_observed(args)
 

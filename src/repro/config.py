@@ -6,8 +6,9 @@ policy, and which major trust stores the validator unions — so a study is
 reproducible from its config alone.  It is hashable (all-frozen fields),
 which is what lets :func:`repro.study.get_study` memoize per config.
 
-The old ``get_study(seed=...)`` call sites keep working: a bare seed is
-promoted to ``StudyConfig(seed=...)`` by the shim in :mod:`repro.study`.
+Construction is config-first everywhere: the deprecated bare-seed
+``get_study(seed=...)`` shim in :mod:`repro.study` still promotes a seed
+to ``StudyConfig(seed=...)``, with a ``DeprecationWarning``.
 """
 
 import hashlib
@@ -47,10 +48,16 @@ class StudyConfig:
             raise ValueError(f"unknown trust stores: {sorted(unknown)}")
         if not self.trust_stores:
             raise ValueError("at least one trust store is required")
-        # Normalize list arguments so equal configs hash equally.
+        if len(set(self.trust_stores)) != len(tuple(self.trust_stores)):
+            raise ValueError("duplicate trust stores")
+        # Normalize list arguments so equal configs hash equally.  Trust
+        # stores are a *set* (the validator unions them, and union is
+        # commutative), so their order is canonicalized too: two configs
+        # naming the same stores in any order compare, hash, and digest
+        # identically.
         object.__setattr__(self, "vantages", tuple(self.vantages))
         object.__setattr__(self, "trust_stores",
-                           tuple(self.trust_stores))
+                           tuple(sorted(self.trust_stores)))
 
     def with_seed(self, seed):
         """This config with a different world seed."""
@@ -70,6 +77,27 @@ class StudyConfig:
             "seed": self.seed,
             "vantages": [asdict(vantage) for vantage in self.vantages],
             "probe_jobs": self.probe_jobs,
+            "retry": asdict(self.retry),
+            "trust_stores": list(self.trust_stores),
+        }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def artifact_digest(self):
+        """A content hash of the *result-determining* fields only.
+
+        The artifact store (:mod:`repro.store`) keys cached artifacts by
+        this digest: two configs that can only differ in wall-clock —
+        ``probe_jobs`` is pure concurrency, documented to never change
+        output bytes — share every artifact, so ``repro probe --jobs 8``
+        followed by ``repro report`` (jobs 1) is a cache hit.  Everything
+        that *can* change bytes (seed, vantages, retry budget, trust-store
+        selection) stays in.
+        """
+        payload = {
+            "seed": self.seed,
+            "vantages": [asdict(vantage) for vantage in self.vantages],
             "retry": asdict(self.retry),
             "trust_stores": list(self.trust_stores),
         }

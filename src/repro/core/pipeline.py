@@ -1,15 +1,29 @@
 """One-call orchestration of the full study.
 
-``run_full_study`` executes every analysis in paper order and returns a
-nested dict of results — the programmatic equivalent of regenerating all
-tables and figures.  Examples and the integration tests drive this.
+``run_full_study`` executes every analysis and returns a nested dict of
+results — the programmatic equivalent of regenerating all tables and
+figures.  Examples and the integration tests drive this.
 
-Every analysis runs inside its own ``repro.obs`` span
+Since the ``repro.store`` refactor the hand-ordered call sequence is a
+*declarative registry*: :data:`CLIENT_ANALYSES` and
+:data:`SERVER_ANALYSES` list one :class:`~repro.store.scheduler.AnalysisSpec`
+per analysis (name, inputs, function), and an
+:class:`~repro.store.scheduler.AnalysisScheduler` executes the registry
+in dependency order — serially for ``jobs=1``, over a thread pool
+otherwise — with results byte-identical to the serial path at any worker
+count (the output dict is assembled in registry order, and every node is
+a pure function of its declared inputs).
+
+When the study carries an :class:`~repro.store.artifact.ArtifactStore`
+(``study.attach_store(...)``, or the CLI's ``--cache-dir``), every node
+consults the store before computing, so a warm re-run touches neither
+the world generator nor the prober and finishes near-instantly.
+
+Every analysis still runs inside its own ``repro.obs`` span
 (``analysis.client.<name>`` / ``analysis.server.<name>``), so a traced
 run (``repro report --trace trace.jsonl``) shows exactly where the
-pipeline's time goes, stage by stage — the before/after story every
-later optimization PR builds on.  With observability disabled (the
-default) the spans are no-ops.
+pipeline's time goes.  With observability disabled (the default) the
+spans are no-ops.
 """
 
 from repro import obs
@@ -29,117 +43,178 @@ from repro.core import (
     slds,
 )
 from repro.inspector.timeline import PROBE_TIME
+from repro.store.scheduler import AnalysisScheduler, AnalysisSpec
+
+#: Section 4 + Appendix B (client-side) analyses, in paper order.
+CLIENT_ANALYSES = (
+    AnalysisSpec(
+        "matching", inputs=("dataset", "corpus"),
+        fn=lambda r: matching.match_against_corpus(r["dataset"],
+                                                   r["corpus"])),
+    AnalysisSpec(
+        "degree_distribution", inputs=("dataset",),
+        fn=lambda r: customization.degree_distribution(r["dataset"])),
+    AnalysisSpec(
+        "doc_vendor", inputs=("dataset",),
+        fn=lambda r: customization.doc_vendor_all(r["dataset"])),
+    AnalysisSpec(
+        "doc_device", inputs=("dataset",),
+        fn=lambda r: customization.doc_device_all(r["dataset"])),
+    AnalysisSpec(
+        "heterogeneity", inputs=("dataset",),
+        fn=lambda r: customization.top_vendor_heterogeneity(
+            r["dataset"])),
+    AnalysisSpec(
+        "vulnerability", inputs=("dataset",),
+        fn=lambda r: security.vulnerability_report(r["dataset"])),
+    AnalysisSpec(
+        "jaccard", inputs=("dataset",), provides=("jaccard_pairs",),
+        fn=lambda r: sharing.vendor_similarity_pairs(r["dataset"])),
+    AnalysisSpec(
+        "server_proxy", inputs=("dataset", "corpus"),
+        provides=("server_tie_fraction", "server_ties"),
+        fn=lambda r: sharing.server_specific_fingerprints(r["dataset"],
+                                                          r["corpus"])),
+    AnalysisSpec(
+        "semantics", inputs=("dataset", "corpus"),
+        provides=("semantic_summary",),
+        fn=lambda r: semantics.semantic_summary(
+            semantics.semantic_fingerprinting(r["dataset"],
+                                              r["corpus"]))),
+    AnalysisSpec(
+        "versions", inputs=("dataset",),
+        fn=lambda r: params.version_proposals(r["dataset"])),
+    AnalysisSpec(
+        "fallback", inputs=("dataset",),
+        fn=lambda r: params.fallback_scsv_usage(r["dataset"])),
+    AnalysisSpec(
+        "ocsp", inputs=("dataset",),
+        fn=lambda r: params.ocsp_usage(r["dataset"])),
+    AnalysisSpec(
+        "grease", inputs=("dataset",),
+        fn=lambda r: params.grease_usage(r["dataset"])),
+    AnalysisSpec(
+        "lowest_vulnerable_index", inputs=("dataset",),
+        fn=lambda r: preferences.lowest_vulnerable_index(r["dataset"])),
+    AnalysisSpec(
+        "clean_vendors", inputs=("dataset",),
+        fn=lambda r: preferences.vendors_without_vulnerable(
+            r["dataset"])),
+    AnalysisSpec(
+        "preferred_components", inputs=("dataset",),
+        fn=lambda r: preferences.preferred_components(r["dataset"])),
+)
+
+#: Section 5 + Appendix C (server-side) analyses.  ``survey`` is itself
+#: a node: validation runs once and everything downstream depends on it.
+SERVER_ANALYSES = (
+    AnalysisSpec(
+        "probe_stats", inputs=("certificates",),
+        fn=lambda r: (r["certificates"].stats.to_json()
+                      if r["certificates"].stats is not None else None)),
+    AnalysisSpec(
+        "issuers", inputs=("dataset", "certificates", "ecosystem"),
+        fn=lambda r: issuers.issuer_report(r["dataset"],
+                                           r["certificates"],
+                                           r["ecosystem"])),
+    AnalysisSpec(
+        "survey", inputs=("certificates", "validator"),
+        span="validate.chain",
+        fn=lambda r: chains.validate_all(r["certificates"],
+                                         r["validator"], at=PROBE_TIME),
+        tally=lambda span, survey: span.incr("chains",
+                                             len(survey.reports))),
+    AnalysisSpec(
+        "validation_failures",
+        inputs=("survey", "dataset", "ecosystem"),
+        fn=lambda r: chains.validation_failure_rows(
+            r["survey"], r["dataset"], r["ecosystem"])),
+    AnalysisSpec(
+        "private_issuers", inputs=("survey", "dataset", "ecosystem"),
+        provides=("private_issuer_rows",),
+        fn=lambda r: chains.private_issuer_rows(
+            r["survey"], r["dataset"], r["ecosystem"])),
+    AnalysisSpec(
+        "expired", inputs=("certificates", "dataset"),
+        fn=lambda r: chains.expired_rows(r["certificates"],
+                                         r["dataset"])),
+    AnalysisSpec(
+        "ct",
+        inputs=("dataset", "certificates", "survey", "ecosystem",
+                "ct_logs"),
+        fn=lambda r: ct_validity.ct_report(
+            r["dataset"], r["certificates"], r["survey"],
+            r["ecosystem"], r["ct_logs"])),
+    AnalysisSpec(
+        "netflix", inputs=("certificates", "ct_logs"),
+        fn=lambda r: ct_validity.netflix_rows(r["certificates"],
+                                              r["ct_logs"])),
+    AnalysisSpec(
+        "ct_private_figure", inputs=("survey", "ecosystem", "ct_logs"),
+        fn=lambda r: ct_validity.private_chain_ct_figure(
+            r["survey"], r["ecosystem"], r["ct_logs"])),
+    AnalysisSpec(
+        "slds", inputs=("dataset", "certificates"),
+        provides=("slds", "sld_stats"),
+        fn=lambda r: (lambda rows: (rows, slds.sld_statistics(rows)))(
+            slds.sld_rows(r["dataset"], r["certificates"]))),
+    AnalysisSpec(
+        "geo", inputs=("certificates",),
+        fn=lambda r: geo.geo_comparison(r["certificates"])),
+    AnalysisSpec(
+        "lab", inputs=("dataset", "certificates", "network"),
+        fn=lambda r: labcompare.lab_comparison(
+            r["dataset"], r["certificates"], r["network"])),
+)
 
 
-def _staged(side, results):
-    """A stage runner: ``stage(name, thunk)`` spans and stores one
-    analysis, counting it on the enclosing side's span."""
-    def stage(name, thunk, key=None):
-        with obs.span(f"analysis.{side}.{name}"):
-            results[key or name] = thunk()
-    return stage
+def _scheduler(specs, side, study, jobs, store):
+    if jobs is None:
+        jobs = study.config.probe_jobs
+    if store is None:
+        store = getattr(study, "store", None)
+    return AnalysisScheduler(specs, side=side, jobs=jobs, store=store,
+                             config=study.config)
 
 
-def run_client_side(study):
-    """Section 4 + Appendix B analyses."""
+def run_client_side(study, jobs=None, store=None):
+    """Section 4 + Appendix B analyses.
+
+    ``jobs`` defaults to the study config's worker count; ``store``
+    defaults to the study's attached artifact store (if any).
+    """
     with obs.span("analysis.client") as side_span:
-        dataset, corpus = study.dataset, study.corpus
-        results = {}
-        stage = _staged("client", results)
-        stage("matching",
-              lambda: matching.match_against_corpus(dataset, corpus))
-        stage("degree_distribution",
-              lambda: customization.degree_distribution(dataset))
-        stage("doc_vendor", lambda: customization.doc_vendor_all(dataset))
-        stage("doc_device", lambda: customization.doc_device_all(dataset))
-        stage("heterogeneity",
-              lambda: customization.top_vendor_heterogeneity(dataset))
-        stage("vulnerability",
-              lambda: security.vulnerability_report(dataset))
-        stage("jaccard",
-              lambda: sharing.vendor_similarity_pairs(dataset),
-              key="jaccard_pairs")
-        with obs.span("analysis.client.server_proxy"):
-            tie_fraction, ties = sharing.server_specific_fingerprints(
-                dataset, corpus)
-            results["server_tie_fraction"] = tie_fraction
-            results["server_ties"] = ties
-        with obs.span("analysis.client.semantics"):
-            semantic = semantics.semantic_fingerprinting(dataset, corpus)
-            results["semantic_summary"] = semantics.semantic_summary(
-                semantic)
-        stage("versions", lambda: params.version_proposals(dataset))
-        stage("fallback", lambda: params.fallback_scsv_usage(dataset))
-        stage("ocsp", lambda: params.ocsp_usage(dataset))
-        stage("grease", lambda: params.grease_usage(dataset))
-        stage("lowest_vulnerable_index",
-              lambda: preferences.lowest_vulnerable_index(dataset))
-        stage("clean_vendors",
-              lambda: preferences.vendors_without_vulnerable(dataset))
-        stage("preferred_components",
-              lambda: preferences.preferred_components(dataset))
+        scheduler = _scheduler(CLIENT_ANALYSES, "client", study, jobs,
+                               store)
+        results = scheduler.run({
+            "dataset": lambda: study.dataset,
+            "corpus": lambda: study.corpus,
+        })
         side_span.incr("analyses", len(results))
     return results
 
 
-def run_server_side(study):
+def run_server_side(study, jobs=None, store=None):
     """Section 5 + Appendix C analyses."""
     with obs.span("analysis.server") as side_span:
-        dataset = study.dataset
-        certificates = study.certificates
-        ecosystem = study.ecosystem
-        validator = study.validator()
-        with obs.span("validate.chain") as span:
-            survey = chains.validate_all(certificates, validator,
-                                         at=PROBE_TIME)
-            span.incr("chains", len(survey.reports))
-        results = {
-            "probe_stats": (certificates.stats.to_json()
-                            if certificates.stats is not None else None),
-            "survey": survey,
-        }
-        stage = _staged("server", results)
-        stage("issuers",
-              lambda: issuers.issuer_report(dataset, certificates,
-                                            ecosystem))
-        stage("validation_failures",
-              lambda: chains.validation_failure_rows(survey, dataset,
-                                                     ecosystem))
-        stage("private_issuers",
-              lambda: chains.private_issuer_rows(survey, dataset,
-                                                 ecosystem),
-              key="private_issuer_rows")
-        stage("expired", lambda: chains.expired_rows(certificates,
-                                                     dataset))
-        stage("ct",
-              lambda: ct_validity.ct_report(dataset, certificates,
-                                            survey, ecosystem,
-                                            study.network.ct_logs))
-        stage("netflix",
-              lambda: ct_validity.netflix_rows(certificates,
-                                               study.network.ct_logs))
-        stage("ct_private_figure",
-              lambda: ct_validity.private_chain_ct_figure(
-                  survey, ecosystem, study.network.ct_logs))
-        with obs.span("analysis.server.slds"):
-            sld_rows = slds.sld_rows(dataset, certificates)
-            results["slds"] = sld_rows
-            results["sld_stats"] = slds.sld_statistics(sld_rows)
-        stage("geo", lambda: geo.geo_comparison(certificates))
-        stage("lab",
-              lambda: labcompare.lab_comparison(dataset, certificates,
-                                                study.network))
+        scheduler = _scheduler(SERVER_ANALYSES, "server", study, jobs,
+                               store)
+        results = scheduler.run({
+            "dataset": lambda: study.dataset,
+            "certificates": lambda: study.certificates,
+            "ecosystem": lambda: study.ecosystem,
+            "network": lambda: study.network,
+            "ct_logs": lambda: study.network.ct_logs,
+            "validator": lambda: study.validator(),
+        })
         side_span.incr("analyses", len(results))
-    return {key: results[key] for key in (
-        "probe_stats", "issuers", "survey", "validation_failures",
-        "private_issuer_rows", "expired", "ct", "netflix",
-        "ct_private_figure", "slds", "sld_stats", "geo", "lab")}
+    return results
 
 
-def run_full_study(study):
+def run_full_study(study, jobs=None, store=None):
     """Everything, in paper order."""
     with obs.span("analysis.full_study"):
         return {
-            "client": run_client_side(study),
-            "server": run_server_side(study),
+            "client": run_client_side(study, jobs=jobs, store=store),
+            "server": run_server_side(study, jobs=jobs, store=store),
         }

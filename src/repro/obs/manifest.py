@@ -35,6 +35,9 @@ class RunManifest:
     stage_timings: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     outputs: tuple = ()
+    #: artifact-store traffic (dir, version, hit/miss/write stage lists)
+    #: when the run used a cache; empty otherwise.
+    cache: dict = field(default_factory=dict)
 
     @property
     def elapsed_seconds(self):
@@ -42,12 +45,14 @@ class RunManifest:
 
     @classmethod
     def from_run(cls, command, config, obs_ctx, outputs=(),
-                 started_at=None, finished_at=None):
+                 started_at=None, finished_at=None, store=None):
         """Assemble a manifest from a config and a live obs context.
 
         ``config`` duck-types :class:`repro.config.StudyConfig` (needs
         ``.seed`` and ``.digest()``); ``obs_ctx`` may be disabled, in
-        which case timings and metrics are empty.
+        which case timings and metrics are empty.  ``store`` is an
+        optional :class:`~repro.store.artifact.ArtifactStore` whose
+        cache traffic (:meth:`provenance`) the manifest records.
         """
         from repro import __version__
         now = time.time()
@@ -66,6 +71,7 @@ class RunManifest:
             stage_timings=timings,
             metrics=metrics,
             outputs=tuple(str(path) for path in outputs),
+            cache=store.provenance() if store is not None else {},
         )
 
     def to_json(self):

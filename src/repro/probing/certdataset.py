@@ -6,9 +6,62 @@ issuer organizations, and per-vantage slices.
 """
 
 import hashlib
-from collections import defaultdict
+from collections import Counter, defaultdict
 
 from repro.probing.vantage import PRIMARY_VANTAGE
+
+
+class ProbeStatsSnapshot:
+    """A frozen, picklable view of one run's probe telemetry.
+
+    Live :class:`~repro.probing.engine.ProbeStats` is a view over metric
+    instruments (which hold locks and can't be pickled), so a
+    :class:`CertificateDataset` headed into the artifact store freezes its
+    stats into this value type first.  It exposes the same read surface —
+    the count attributes, the Counter views, ``to_json`` and ``summary``
+    — so cached datasets answer ``--stats`` and ``probe_stats`` pipeline
+    queries byte-identically to the run that produced them.
+    """
+
+    def __init__(self, data):
+        self._data = dict(data)
+
+    probes = property(lambda self: self._data.get("probes", 0))
+    attempts = property(lambda self: self._data.get("attempts", 0))
+    retries = property(lambda self: self._data.get("retries", 0))
+    exhausted = property(lambda self: self._data.get("exhausted", 0))
+    wall_seconds = property(
+        lambda self: self._data.get("wall_seconds", 0.0))
+
+    def _counter(self, key):
+        return Counter(self._data.get(key, {}))
+
+    outcomes = property(lambda self: self._counter("outcomes"))
+    faults = property(lambda self: self._counter("faults"))
+    latency_buckets = property(
+        lambda self: self._counter("latency_buckets"))
+    reachable_by_vantage = property(
+        lambda self: self._counter("reachable_by_vantage"))
+    unreachable_by_vantage = property(
+        lambda self: self._counter("unreachable_by_vantage"))
+
+    def to_json(self):
+        return dict(self._data)
+
+    def summary(self):
+        """Same rendering as :meth:`ProbeStats.summary`, from the dict."""
+        lines = [f"probes {self.probes}  attempts {self.attempts}  "
+                 f"retries {self.retries}  exhausted {self.exhausted}  "
+                 f"wall {self.wall_seconds:.2f}s"]
+        if self.faults:
+            lines.append("faults:   " + "  ".join(
+                f"{k}={v}" for k, v in sorted(self.faults.items())))
+        lines.append("outcomes: " + "  ".join(
+            f"{k}={v}" for k, v in sorted(self.outcomes.items())))
+        lines.append("reachable: " + "  ".join(
+            f"{v}={self.reachable_by_vantage[v]}"
+            for v in sorted(self.reachable_by_vantage)))
+        return "\n".join(lines)
 
 
 class CertificateDataset:
@@ -93,6 +146,24 @@ class CertificateDataset:
         return [result.to_json(ct_logs=ct_logs)
                 for _fqdn, result in
                 sorted(self._by_vantage[vantage].items())]
+
+    def __getstate__(self):
+        """Freeze live ``stats`` (lock-holding metric views) for pickling."""
+        state = self.__dict__.copy()
+        stats = state.get("stats")
+        if stats is not None and not isinstance(stats,
+                                                ProbeStatsSnapshot):
+            state["stats"] = ProbeStatsSnapshot(stats.to_json())
+        state["_by_vantage"] = {vantage: dict(results) for
+                                vantage, results in
+                                state["_by_vantage"].items()}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        by_vantage = defaultdict(dict)
+        by_vantage.update(self._by_vantage)
+        self._by_vantage = by_vantage
 
     def fingerprint(self):
         """SHA-256 over every result's canonical bytes, in result order.

@@ -1,0 +1,27 @@
+"""``repro.store`` — persistent artifacts and the analysis scheduler.
+
+Large-scan pipelines (ZMap-style measurement, the DoH-IoT capture →
+analyze split) never recompute an expensive artifact twice: the scan is
+written once and every analysis reads it back.  This package gives the
+reproduction the same shape:
+
+- :class:`~repro.store.artifact.ArtifactStore` — a content-addressed
+  on-disk cache keyed by ``(StudyConfig.artifact_digest(), stage,
+  package version)``.  Every expensive artifact — the ClientHello
+  capture, the three-vantage certificate dataset, the chain-validation
+  survey, each individual analysis result — is stored once and reused by
+  any later command with an equivalent config, so a warm ``repro
+  report`` after ``repro probe`` is near-instant.  Entries carry a
+  payload checksum; corruption, partial writes, and version mismatches
+  all degrade to a cache miss, never to wrong bytes.
+- :class:`~repro.store.scheduler.AnalysisScheduler` — executes a
+  declarative registry of :class:`~repro.store.scheduler.AnalysisSpec`
+  nodes in dependency (topological) order over a thread pool.  Results
+  are byte-identical to the serial path at any ``jobs`` value, and every
+  node transparently consults the store before computing.
+"""
+
+from repro.store.artifact import MISS, ArtifactStore
+from repro.store.scheduler import AnalysisScheduler, AnalysisSpec
+
+__all__ = ["MISS", "AnalysisScheduler", "AnalysisSpec", "ArtifactStore"]

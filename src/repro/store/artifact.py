@@ -1,0 +1,274 @@
+"""The content-addressed artifact store.
+
+One cache entry per ``(config artifact digest, stage name, package
+version)`` triple.  The triple is hashed into a single content key; the
+entry lives at ``<root>/<key[:2]>/<key>.art`` as::
+
+    repro-artifact/1\\n
+    {"artifact": ..., "stage": ..., "version": ..., "sha256": ..., ...}\\n
+    <pickled payload bytes>
+
+Design invariants:
+
+- **Keyed by meaning, not by flags.**  The key uses
+  :meth:`repro.config.StudyConfig.artifact_digest`, which covers every
+  result-determining field (seed, vantages, retry policy, trust stores)
+  and excludes pure-concurrency knobs, so ``probe --jobs 8`` and a
+  serial ``report`` share artifacts.
+- **Version-fenced.**  The package version participates in the key, so
+  upgrading the code silently invalidates every cached artifact (old
+  entries become unreachable; ``repro cache stats`` still counts them
+  and ``repro cache clear`` removes them).
+- **Corruption degrades to a miss.**  Reads verify the header and a
+  SHA-256 of the payload; any mismatch (truncation, bit rot, a torn
+  write) deletes the entry and reports a miss.  Writes go through a
+  same-directory temp file and an atomic ``os.replace``, so a crashed
+  writer can never leave a half-written entry under a live key.
+- **Observable.**  ``get``/``put`` run inside ``store.get`` /
+  ``store.put`` spans, hits and misses feed per-stage counter families
+  (``store.hits`` / ``store.misses``), and :meth:`provenance`
+  summarizes the run's cache traffic for the
+  :class:`~repro.obs.manifest.RunManifest`.
+"""
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import tempfile
+import threading
+from pathlib import Path
+
+from repro import obs
+
+_MAGIC = b"repro-artifact/1\n"
+_SUFFIX = ".art"
+
+
+class _Miss:
+    """Sentinel for a cache miss (distinct from a cached ``None``)."""
+
+    def __repr__(self):
+        return "<repro.store.MISS>"
+
+    def __bool__(self):
+        return False
+
+
+MISS = _Miss()
+
+
+class ArtifactStore:
+    """A persistent content-addressed cache of study artifacts."""
+
+    def __init__(self, root, version=None):
+        from repro import __version__
+        self.root = Path(root)
+        self.version = __version__ if version is None else str(version)
+        self._lock = threading.Lock()
+        #: per-run cache traffic, by stage name (for provenance).
+        self.hit_stages = []
+        self.miss_stages = []
+        self.written_stages = []
+        self.error_stages = []
+
+    # -- keying ---------------------------------------------------------------
+
+    def key(self, config, stage):
+        """The content key of ``(config, stage)`` under this version."""
+        payload = {
+            "artifact": config.artifact_digest(),
+            "stage": stage,
+            "version": self.version,
+        }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def path_for(self, config, stage):
+        key = self.key(config, stage)
+        return self.root / key[:2] / f"{key}{_SUFFIX}"
+
+    # -- read -----------------------------------------------------------------
+
+    def get(self, config, stage):
+        """The cached artifact for ``(config, stage)``, or :data:`MISS`.
+
+        Any defect — absent entry, unreadable file, header mismatch,
+        checksum failure, unpicklable payload — is a miss; defective
+        entries are deleted so they are rebuilt cleanly.
+        """
+        path = self.path_for(config, stage)
+        with obs.span("store.get") as span:
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                return self._miss(stage)
+            value = self._decode(raw, config, stage)
+            if value is MISS:
+                self._discard(path)
+                obs.incr("store.corrupt", key=stage)
+                return self._miss(stage)
+            span.incr("bytes", len(raw))
+        with self._lock:
+            self.hit_stages.append(stage)
+        obs.incr("store.hits", key=stage)
+        return value
+
+    def _decode(self, raw, config, stage):
+        buffer = io.BytesIO(raw)
+        if buffer.readline() != _MAGIC:
+            return MISS
+        try:
+            header = json.loads(buffer.readline().decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return MISS
+        payload = buffer.read()
+        if header.get("sha256") != hashlib.sha256(payload).hexdigest():
+            return MISS
+        expected = {"artifact": config.artifact_digest(), "stage": stage,
+                    "version": self.version}
+        if any(header.get(field) != value
+               for field, value in expected.items()):
+            return MISS
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            return MISS
+
+    def _miss(self, stage):
+        with self._lock:
+            self.miss_stages.append(stage)
+        obs.incr("store.misses", key=stage)
+        return MISS
+
+    @staticmethod
+    def _discard(path):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- write ----------------------------------------------------------------
+
+    def put(self, config, stage, value):
+        """Cache ``value`` for ``(config, stage)``; returns its path.
+
+        Caching is best-effort: an unpicklable value (or an unwritable
+        cache directory) is counted and skipped, never fatal — the
+        pipeline's correctness must not depend on the cache.
+        """
+        with obs.span("store.put") as span:
+            try:
+                payload = pickle.dumps(value,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                with self._lock:
+                    self.error_stages.append(stage)
+                obs.incr("store.errors", key=stage)
+                return None
+            header = {
+                "artifact": config.artifact_digest(),
+                "stage": stage,
+                "version": self.version,
+                "sha256": hashlib.sha256(payload).hexdigest(),
+                "size": len(payload),
+            }
+            blob = (_MAGIC
+                    + json.dumps(header, sort_keys=True).encode("utf-8")
+                    + b"\n" + payload)
+            path = self.path_for(config, stage)
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                handle = tempfile.NamedTemporaryFile(
+                    dir=path.parent, prefix=".tmp-", delete=False)
+                with handle:
+                    handle.write(blob)
+                os.replace(handle.name, path)
+            except OSError:
+                with self._lock:
+                    self.error_stages.append(stage)
+                obs.incr("store.errors", key=stage)
+                return None
+            span.incr("bytes", len(blob))
+        with self._lock:
+            self.written_stages.append(stage)
+        obs.incr("store.writes", key=stage)
+        return path
+
+    def get_or_compute(self, config, stage, compute):
+        """``get``, falling back to ``compute()`` + ``put`` on a miss."""
+        value = self.get(config, stage)
+        if value is MISS:
+            value = compute()
+            self.put(config, stage, value)
+        return value
+
+    # -- inspection / maintenance ---------------------------------------------
+
+    def _entry_paths(self):
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(f"*/*{_SUFFIX}"))
+
+    def entries(self):
+        """Header metadata of every readable entry (any version)."""
+        headers = []
+        for path in self._entry_paths():
+            try:
+                with open(path, "rb") as handle:
+                    if handle.readline() != _MAGIC:
+                        continue
+                    header = json.loads(
+                        handle.readline().decode("utf-8"))
+            except (OSError, UnicodeDecodeError, ValueError):
+                continue
+            header["path"] = str(path)
+            headers.append(header)
+        return headers
+
+    def stats(self):
+        """Aggregate cache statistics (entry counts, bytes, breakdowns)."""
+        entries = self.entries()
+        by_stage = {}
+        by_version = {}
+        total_bytes = 0
+        for header in entries:
+            size = header.get("size", 0)
+            total_bytes += size
+            stage = header.get("stage", "?")
+            by_stage[stage] = by_stage.get(stage, 0) + 1
+            version = header.get("version", "?")
+            by_version[version] = by_version.get(version, 0) + 1
+        return {
+            "dir": str(self.root),
+            "version": self.version,
+            "entries": len(entries),
+            "bytes": total_bytes,
+            "by_stage": dict(sorted(by_stage.items())),
+            "by_version": dict(sorted(by_version.items())),
+        }
+
+    def clear(self):
+        """Delete every entry (all versions); returns how many."""
+        removed = 0
+        for path in self._entry_paths():
+            self._discard(path)
+            removed += 1
+        if self.root.is_dir():
+            for stray in self.root.glob("*/.tmp-*"):
+                self._discard(stray)
+        return removed
+
+    def provenance(self):
+        """This run's cache traffic, for the run manifest."""
+        with self._lock:
+            return {
+                "dir": str(self.root),
+                "version": self.version,
+                "hits": sorted(self.hit_stages),
+                "misses": sorted(self.miss_stages),
+                "writes": sorted(self.written_stages),
+                "errors": sorted(self.error_stages),
+            }

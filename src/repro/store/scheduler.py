@@ -1,0 +1,241 @@
+"""Dependency-aware concurrent execution of the analysis registry.
+
+:mod:`repro.core.pipeline` used to hand-order ~30 analysis calls; the
+registry/scheduler split makes the ordering *data*: each analysis is an
+:class:`AnalysisSpec` naming its inputs, and :class:`AnalysisScheduler`
+runs the registry in topological order — serially for ``jobs=1``, over a
+thread pool otherwise.
+
+Determinism contract: the returned mapping is byte-identical to the
+serial path at any ``jobs`` value.  Three properties make that hold:
+
+- every analysis is a pure function of its declared inputs, so execution
+  *order* can't change any value;
+- worker interleaving only decides *when* a node runs, never what it
+  sees — a node is submitted only after every input is resolved;
+- the output mapping is assembled after the run, in registry declaration
+  order, so key order (and therefore serialized bytes) never depends on
+  completion order.
+
+When a store is attached, each cacheable node consults it before
+computing (stage name ``analysis.<side>.<name>``), which is what makes a
+warm re-run of the full pipeline near-instant.  Base resources (the
+dataset, the certificate capture, the validator...) are resolved
+*lazily*: a fully-cached run never touches them, so it never pays for
+world generation or probing at all.
+"""
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.store.artifact import MISS
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """One analysis node: a named pure function over named inputs.
+
+    Attributes:
+        name: unique node name (also the default result key).
+        fn: callable taking a ``{input name: value}`` dict.  With one
+            ``provides`` key it returns the bare value; with several it
+            returns a tuple aligned with ``provides``.
+        inputs: names this node consumes — base resources or result
+            keys ``provides``-ed by other nodes in the same registry.
+        provides: result keys this node contributes (default:
+            ``(name,)``).
+        span: tracing span name (default ``analysis.<side>.<name>``).
+        cacheable: whether the artifact store may persist the result.
+        tally: optional ``tally(span, value)`` hook for per-node span
+            counters.
+    """
+
+    name: str
+    fn: object
+    inputs: tuple = ()
+    provides: tuple = None
+    span: str = None
+    cacheable: bool = True
+    tally: object = field(default=None, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        provides = (self.name,) if self.provides is None \
+            else tuple(self.provides)
+        object.__setattr__(self, "provides", provides)
+
+
+class _LazyResources:
+    """Base inputs resolved (and memoized) only on first use."""
+
+    def __init__(self, mapping):
+        self._mapping = dict(mapping)
+        self._resolved = {}
+        self._lock = threading.RLock()
+
+    def __contains__(self, name):
+        return name in self._mapping
+
+    def resolve(self, name):
+        with self._lock:
+            if name not in self._resolved:
+                provider = self._mapping[name]
+                self._resolved[name] = provider() \
+                    if callable(provider) else provider
+            return self._resolved[name]
+
+
+class AnalysisScheduler:
+    """Runs one registry of specs in dependency order.
+
+    Args:
+        specs: the registry, in the declaration order the output mapping
+            should have.
+        side: registry label (``"client"``/``"server"``); prefixes span
+            and cache-stage names.
+        jobs: worker threads (1 = the serial reference path).
+        store: optional :class:`~repro.store.artifact.ArtifactStore`.
+        config: the :class:`~repro.config.StudyConfig` keying the store.
+    """
+
+    def __init__(self, specs, side, jobs=1, store=None, config=None):
+        self.specs = tuple(specs)
+        self.side = side
+        self.jobs = max(1, int(jobs))
+        self.store = store
+        self.config = config
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate analysis names in registry")
+        self._producer = {}
+        for spec in self.specs:
+            for key in spec.provides:
+                if key in self._producer:
+                    raise ValueError(f"result key {key!r} provided twice")
+                self._producer[key] = spec
+
+    def stage_name(self, spec):
+        return f"analysis.{self.side}.{spec.name}"
+
+    # -- single-node execution ------------------------------------------------
+
+    def _execute(self, spec, resources, values):
+        """Run one node (store-aware); returns its packed result."""
+        use_store = (self.store is not None and self.config is not None
+                     and spec.cacheable)
+        if use_store:
+            cached = self.store.get(self.config, self.stage_name(spec))
+            if cached is not MISS:
+                return cached
+        inputs = {}
+        for name in spec.inputs:
+            if name in self._producer:
+                inputs[name] = values[name]
+            else:
+                inputs[name] = resources.resolve(name)
+        with obs.span(spec.span
+                      or f"analysis.{self.side}.{spec.name}") as span:
+            packed = spec.fn(inputs)
+            if spec.tally is not None:
+                spec.tally(span, packed)
+        if use_store:
+            self.store.put(self.config, self.stage_name(spec), packed)
+        return packed
+
+    def _unpack(self, spec, packed, values):
+        if len(spec.provides) == 1:
+            values[spec.provides[0]] = packed
+        else:
+            for key, item in zip(spec.provides, packed):
+                values[key] = item
+
+    # -- the run loop ---------------------------------------------------------
+
+    def run(self, resources):
+        """Execute every node; returns ``{result key: value}``.
+
+        ``resources`` maps base-input names to values or zero-argument
+        callables (resolved lazily, once).  Key order of the returned
+        dict follows the registry declaration order regardless of
+        ``jobs``.
+        """
+        resources = _LazyResources(resources)
+        values = {}
+        dependents = {spec.name: [] for spec in self.specs}
+        blockers = {}
+        for spec in self.specs:
+            needs = {self._producer[name].name for name in spec.inputs
+                     if name in self._producer}
+            needs.discard(spec.name)
+            blockers[spec.name] = needs
+            for upstream in needs:
+                dependents[upstream].append(spec.name)
+        by_name = {spec.name: spec for spec in self.specs}
+        ready = [spec for spec in self.specs if not blockers[spec.name]]
+        if len(ready) < len(self.specs):
+            self._check_acyclic(blockers)
+        if self.jobs == 1:
+            self._run_serial(ready, blockers, dependents, by_name,
+                             resources, values)
+        else:
+            self._run_pooled(ready, blockers, dependents, by_name,
+                             resources, values)
+        out = {}
+        for spec in self.specs:
+            for key in spec.provides:
+                out[key] = values[key]
+        return out
+
+    def _check_acyclic(self, blockers):
+        remaining = {name: set(needs)
+                     for name, needs in blockers.items()}
+        while remaining:
+            free = [name for name, needs in remaining.items()
+                    if not needs]
+            if not free:
+                raise ValueError(
+                    f"dependency cycle among {sorted(remaining)}")
+            for name in free:
+                del remaining[name]
+            for needs in remaining.values():
+                needs.difference_update(free)
+
+    def _run_serial(self, ready, blockers, dependents, by_name,
+                    resources, values):
+        queue = list(ready)
+        while queue:
+            spec = queue.pop(0)
+            self._unpack(spec, self._execute(spec, resources, values),
+                         values)
+            for name in dependents[spec.name]:
+                blockers[name].discard(spec.name)
+                if not blockers[name]:
+                    queue.append(by_name[name])
+
+    def _run_pooled(self, ready, blockers, dependents, by_name,
+                    resources, values):
+        lock = threading.Lock()
+        with ThreadPoolExecutor(max_workers=self.jobs,
+                                thread_name_prefix="analysis") as pool:
+            running = {
+                pool.submit(self._execute, spec, resources, values): spec
+                for spec in ready}
+            while running:
+                done, _pending = wait(running,
+                                      return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = running.pop(future)
+                    packed = future.result()  # re-raises node errors
+                    newly_ready = []
+                    with lock:
+                        self._unpack(spec, packed, values)
+                        for name in dependents[spec.name]:
+                            blockers[name].discard(spec.name)
+                            if not blockers[name]:
+                                newly_ready.append(by_name[name])
+                    for next_spec in newly_ready:
+                        running[pool.submit(self._execute, next_spec,
+                                            resources, values)] = \
+                            next_spec

@@ -6,8 +6,19 @@ benchmarks, and examples share a memoized :class:`Study` per
 config-independent artifacts (the world, the simulated network, the
 library corpus) are additionally memoized per *seed*, so two configs that
 differ only in probe concurrency or trust-store selection share them.
+
+A study may also carry a persistent
+:class:`~repro.store.artifact.ArtifactStore`
+(:meth:`Study.attach_store`): the capture and the certificate dataset
+are then read from / written to the on-disk cache, so a fresh process
+with a warm cache skips world generation and probing entirely.
+
+The constructor is config-first.  ``Study(seed=...)``, ``get_study(7)``
+and ``get_study(seed=7)`` still work but emit a ``DeprecationWarning``;
+pass a :class:`StudyConfig` (or nothing, for the default config).
 """
 
+import warnings
 from functools import lru_cache
 
 from repro import obs
@@ -17,6 +28,7 @@ from repro.inspector.generator import WorldGenerator
 from repro.libraries.corpus import build_default_corpus
 from repro.probing.engine import ProbeEngine
 from repro.probing.network import SimulatedNetwork
+from repro.store.artifact import MISS
 from repro.x509.validation import ChainValidator
 
 __all__ = ["DEFAULT_SEED", "Study", "StudyConfig", "get_study"]
@@ -37,23 +49,47 @@ def _shared_corpus():
     return build_default_corpus()
 
 
+def _promote_seed(config, seed, caller):
+    """The config-first promotion shared by Study and get_study."""
+    if config is None:
+        if seed is not None:
+            warnings.warn(
+                f"{caller}(seed=...) is deprecated; pass "
+                f"{caller}(StudyConfig(seed=...)) instead",
+                DeprecationWarning, stacklevel=3)
+        return StudyConfig(seed=DEFAULT_SEED if seed is None else seed)
+    if seed is not None and seed != config.seed:
+        raise ValueError("pass either a config or a seed, not both")
+    return config
+
+
 class Study:
     """Lazily-built handles to every artifact of one study run."""
 
-    def __init__(self, config=None, seed=None):
-        if config is None:
-            config = StudyConfig(
-                seed=DEFAULT_SEED if seed is None else seed)
-        elif seed is not None and seed != config.seed:
-            raise ValueError("pass either a config or a seed, not both")
-        self.config = config
-        self.seed = config.seed
+    def __init__(self, config=None, seed=None, store=None):
+        self.config = _promote_seed(config, seed, "Study")
+        self.seed = self.config.seed
+        self.store = store
         self._world = None
         self._dataset = None
         self._corpus = None
         self._network = None
         self._certificates = None
         self._trust_store = None
+
+    def attach_store(self, store):
+        """Attach (or detach, with ``None``) an artifact store."""
+        self.store = store
+        return self
+
+    def _cached(self, stage):
+        if self.store is None:
+            return MISS
+        return self.store.get(self.config, stage)
+
+    def _store_put(self, stage, value):
+        if self.store is not None:
+            self.store.put(self.config, stage, value)
 
     @property
     def world(self):
@@ -64,12 +100,19 @@ class Study:
 
     @property
     def dataset(self):
-        """The ClientHello capture (client-side analyses, Section 4)."""
+        """The ClientHello capture (client-side analyses, Section 4).
+
+        Store-backed: with an attached artifact store, a cached capture
+        is reused without generating the world.
+        """
         if self._dataset is None:
-            world = self.world
             with obs.span("study.dataset") as span:
-                self._dataset = InspectorDataset.from_world(world)
-                span.incr("records", len(self._dataset.records))
+                dataset = self._cached("capture")
+                if dataset is MISS:
+                    dataset = InspectorDataset.from_world(self.world)
+                    self._store_put("capture", dataset)
+                self._dataset = dataset
+                span.incr("records", len(dataset.records))
         return self._dataset
 
     @property
@@ -100,26 +143,35 @@ class Study:
         Probed by the parallel :class:`~repro.probing.engine.ProbeEngine`
         under the config's concurrency and retry policy; the output is
         byte-identical across worker counts for a given seed.
+        Store-backed: with an attached artifact store, a cached dataset
+        is reused without building the network or probing.
         """
         if self._certificates is None:
-            snis = [spec.fqdn for spec in self.world.servers]
-            network = self.network
             with obs.span("study.certificates") as span:
-                engine = ProbeEngine(network,
-                                     vantages=self.config.vantages,
-                                     jobs=self.config.probe_jobs,
-                                     retry=self.config.retry)
-                self._certificates = engine.probe_all(snis)
-                span.incr("snis", len(snis))
-                span.incr("jobs", self.config.probe_jobs)
+                certificates = self._cached("certificates")
+                if certificates is MISS:
+                    snis = [spec.fqdn for spec in self.world.servers]
+                    engine = ProbeEngine(self.network,
+                                         vantages=self.config.vantages,
+                                         jobs=self.config.probe_jobs,
+                                         retry=self.config.retry)
+                    certificates = engine.probe_all(snis)
+                    span.incr("jobs", self.config.probe_jobs)
+                    self._store_put("certificates", certificates)
+                self._certificates = certificates
+                span.incr("snis", len(certificates))
         return self._certificates
 
     @property
     def trust_store(self):
-        """The union of the config's selected major stores (built once)."""
+        """The union of the config's selected major stores (built once).
+
+        Selection is order-insensitive: any permutation of all major
+        stores reuses the prebuilt union store.
+        """
         if self._trust_store is None:
             with obs.span("study.trust_store"):
-                if tuple(self.config.trust_stores) == MAJOR_STORES:
+                if set(self.config.trust_stores) == set(MAJOR_STORES):
                     self._trust_store = self.ecosystem.union_store
                 else:
                     selected = [self.ecosystem.stores[name]
@@ -140,14 +192,12 @@ def _study_for_config(config):
 def get_study(config=None, seed=None):
     """The memoized study context for a config.
 
-    Back-compat shim: ``get_study(seed=7)`` and the legacy positional
-    ``get_study(7)`` both promote the bare seed to
-    ``StudyConfig(seed=7)``.  Equal configs share one :class:`Study`.
+    Config-first: pass a :class:`StudyConfig` (or nothing for the
+    default).  The legacy bare-seed spellings — ``get_study(seed=7)``
+    and positional ``get_study(7)`` — still promote the seed to
+    ``StudyConfig(seed=7)`` but emit a ``DeprecationWarning``.  Equal
+    configs share one :class:`Study`.
     """
     if isinstance(config, int):
         config, seed = None, config
-    if config is None:
-        config = StudyConfig(seed=DEFAULT_SEED if seed is None else seed)
-    elif seed is not None and seed != config.seed:
-        raise ValueError("pass either a config or a seed, not both")
-    return _study_for_config(config)
+    return _study_for_config(_promote_seed(config, seed, "get_study"))

@@ -111,7 +111,7 @@ class TestEngineDeterminism:
             [r.vantage for r in serial_subset.results]
 
     def test_parallel_equals_serial_seed_7(self):
-        study7 = get_study(seed=7)
+        study7 = get_study(StudyConfig(seed=7))
         snis7 = [spec.fqdn for spec in study7.world.servers][:SUBSET]
         serial = Prober(study7.network).probe_all(snis7)
         parallel = ProbeEngine(study7.network, jobs=4).probe_all(snis7)
@@ -267,8 +267,10 @@ class TestStudyConfig:
 
     def test_get_study_memoizes_per_config(self, study):
         assert get_study(StudyConfig()) is study
-        assert get_study(StudyConfig()) is get_study(seed=2023)
-        assert get_study(2023) is study  # legacy positional seed
+        with pytest.deprecated_call():
+            assert get_study(StudyConfig()) is get_study(seed=2023)
+        with pytest.deprecated_call():
+            assert get_study(2023) is study  # legacy positional seed
 
     def test_config_and_seed_conflict(self):
         with pytest.raises(ValueError):

@@ -8,15 +8,24 @@ from repro.study import DEFAULT_SEED, Study, get_study
 class TestMemoization:
     def test_get_study_cached(self):
         assert get_study() is get_study()
-        # lru_cache keys on the call signature, so the explicit-seed call
-        # is a separate (but equal-seed) entry.
-        assert get_study(DEFAULT_SEED) is get_study(DEFAULT_SEED)
-        assert get_study(DEFAULT_SEED).seed == get_study().seed
+        # The legacy bare-seed spelling still works but is deprecated.
+        with pytest.deprecated_call():
+            legacy = get_study(DEFAULT_SEED)
+        assert legacy is get_study()
+        assert legacy.seed == get_study().seed
 
     def test_lazy_construction(self):
-        fresh = Study(seed=12345)
+        with pytest.deprecated_call():
+            fresh = Study(seed=12345)
         assert fresh._world is None
         assert fresh._certificates is None
+
+    def test_config_first_does_not_warn(self, recwarn):
+        from repro.study import StudyConfig
+        Study(StudyConfig(seed=12346))
+        get_study()
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
 
     def test_world_built_once(self, study):
         assert study.world is study.world
