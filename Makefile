@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint check bench bench-probe bench-obs \
+.PHONY: install test lint check verify bench bench-probe bench-obs \
         bench-store report figures examples clean
 
 install:
@@ -15,7 +15,8 @@ test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Lightweight lint: everything must byte-compile, and `print(` is banned
-# in src/repro outside the CLI (library code reports via repro.obs).
+# in src/repro outside the CLI (library code reports via repro.obs) and
+# in benchmarks/ helper modules (bench_*.py scripts may still print).
 lint:
 	$(PYTHON) -m compileall -q src/repro tests benchmarks examples
 	@bad=$$(grep -rn --include='*.py' '^[[:space:]]*print(' src/repro \
@@ -24,9 +25,20 @@ lint:
 	    echo "lint: bare print() outside src/repro/cli.py:"; \
 	    echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rn --include='*.py' '^[[:space:]]*print(' benchmarks \
+	    | grep -v '^benchmarks/bench_' || true); \
+	if [ -n "$$bad" ]; then \
+	    echo "lint: bare print() in benchmarks/ helper modules:"; \
+	    echo "$$bad"; exit 1; \
+	fi
 	@echo "lint: ok"
 
 check: test lint
+
+# Differential conformance: re-run the pipeline and compare every node
+# against the committed golden baseline (conformance/baseline.json).
+verify:
+	PYTHONPATH=src $(PYTHON) -m repro verify check
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

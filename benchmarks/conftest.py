@@ -7,6 +7,7 @@ pytest-benchmark.
 """
 
 import pathlib
+import sys
 
 import pytest
 
@@ -53,7 +54,7 @@ def emit():
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _emit(name, text):
-        print(f"\n{text}\n")
+        sys.stdout.write(f"\n{text}\n\n")
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
                                                  encoding="utf-8")
 

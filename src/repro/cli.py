@@ -14,6 +14,9 @@ Commands:
 - ``figures``   export plot-ready JSON data for every figure;
 - ``cache``     inspect (``stats``) or empty (``clear``) the artifact
   store;
+- ``verify``    differential conformance: ``record``/``check`` golden
+  baselines, run the execution-mode equivalence ``matrix``, evaluate
+  the paper ``invariants``;
 - ``trace-summary``  render a ``--trace`` JSONL file (top spans by
   self-time, metric table, manifest line).
 
@@ -52,6 +55,9 @@ from repro.study import DEFAULT_SEED, StudyConfig, get_study
 #: cache directory used when --cache-dir is absent ($REPRO_CACHE_DIR
 #: overrides; caching stays off when neither is set).
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: the committed golden baseline `repro verify check` compares against.
+DEFAULT_BASELINE = "conformance/baseline.json"
 
 
 def _add_config(parser):
@@ -292,6 +298,91 @@ def cmd_cache_clear(args):
     return 0
 
 
+def _write_verify_report(args, payload):
+    """Write a machine-readable verify report when --report was given."""
+    if getattr(args, "report", None):
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        args.artifacts.append(args.report)
+        print(f"wrote verify report to {args.report}")
+
+
+def cmd_verify_record(args):
+    from repro.verify import (invariant_summary, record_baseline,
+                              render_invariants, run_and_snapshot)
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    results, snapshots = run_and_snapshot(study, jobs=args.jobs)
+    summary = invariant_summary(study, results)
+    args.invariants = summary
+    print(render_invariants(summary))
+    if not summary["ok"]:
+        print("verify record: refusing to record a baseline that "
+              "violates paper invariants", file=sys.stderr)
+        return 1
+    with obs.span("cli.write_output"):
+        path = record_baseline(study, args.baseline,
+                               snapshots=snapshots)
+    print(f"recorded golden baseline ({len(snapshots)} nodes) to "
+          f"{path}")
+    return 0
+
+
+def cmd_verify_check(args):
+    from repro.verify import (check_baseline, invariant_summary,
+                              render_invariants, run_and_snapshot)
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    results, snapshots = run_and_snapshot(study, jobs=args.jobs)
+    summary = invariant_summary(study, results)
+    args.invariants = summary
+    try:
+        report = check_baseline(study, args.baseline,
+                                snapshots=snapshots)
+    except ValueError as exc:
+        print(f"verify check: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    print(render_invariants(summary))
+    payload = report.to_json()
+    payload["invariants"] = summary
+    _write_verify_report(args, payload)
+    return 0 if report.ok and summary["ok"] else 1
+
+
+def cmd_verify_matrix(args):
+    from repro.verify import EquivalenceMatrix, default_modes
+    try:
+        config = config_from_args(args)
+    except ValueError as exc:
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return 2
+    args.config = config
+    parallel_jobs = args.jobs if args.jobs > 1 else 4
+    matrix = EquivalenceMatrix(
+        base_config=config, modes=default_modes(parallel_jobs))
+    report = matrix.run()
+    print(report.render())
+    _write_verify_report(args, report.to_json())
+    return 0 if report.ok else 1
+
+
+def cmd_verify_invariants(args):
+    from repro.core.pipeline import run_full_study
+    from repro.verify import invariant_summary, render_invariants
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    results = run_full_study(study, jobs=args.jobs)
+    summary = invariant_summary(study, results)
+    args.invariants = summary
+    print(render_invariants(summary))
+    return 0 if summary["ok"] else 1
+
+
 def cmd_trace_summary(args):
     from repro.obs.summary import summarize_file
     try:
@@ -355,6 +446,52 @@ def build_parser():
                           choices=("acme", "aia", "revocation", "all"))
     _add_obs(p_whatif)
 
+    p_verify = sub.add_parser(
+        "verify",
+        help="differential conformance: golden baselines, equivalence "
+             "matrix, paper invariants")
+    verify_sub = p_verify.add_subparsers(dest="verify_command",
+                                         required=True)
+    p_vrecord = verify_sub.add_parser(
+        "record", help="record the golden baseline for this config")
+    _add_config(p_vrecord)
+    _add_cache(p_vrecord)
+    p_vrecord.add_argument("--baseline", metavar="PATH",
+                           default=DEFAULT_BASELINE,
+                           help="baseline file (default %(default)s)")
+    _add_obs(p_vrecord)
+    p_vrecord.set_defaults(func=cmd_verify_record)
+    p_vcheck = verify_sub.add_parser(
+        "check",
+        help="re-run the pipeline, compare against the golden baseline")
+    _add_config(p_vcheck)
+    _add_cache(p_vcheck)
+    p_vcheck.add_argument("--baseline", metavar="PATH",
+                          default=DEFAULT_BASELINE,
+                          help="baseline file (default %(default)s)")
+    p_vcheck.add_argument("--report", metavar="PATH", default=None,
+                          help="also write the structured diff report "
+                               "as JSON to PATH")
+    _add_obs(p_vcheck)
+    p_vcheck.set_defaults(func=cmd_verify_check)
+    p_vmatrix = verify_sub.add_parser(
+        "matrix",
+        help="prove execution modes equivalent (serial/parallel, "
+             "cold/warm cache, faults+retries, store permutations)")
+    _add_config(p_vmatrix)
+    p_vmatrix.add_argument("--report", metavar="PATH", default=None,
+                           help="also write per-mode node digests and "
+                                "mismatches as JSON to PATH")
+    _add_obs(p_vmatrix)
+    p_vmatrix.set_defaults(func=cmd_verify_matrix)
+    p_vinv = verify_sub.add_parser(
+        "invariants",
+        help="evaluate the paper-invariant checks and print verdicts")
+    _add_config(p_vinv)
+    _add_cache(p_vinv)
+    _add_obs(p_vinv)
+    p_vinv.set_defaults(func=cmd_verify_invariants)
+
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the artifact store")
     cache_sub = p_cache.add_subparsers(dest="cache_command",
@@ -397,7 +534,8 @@ def _run_observed(args):
         or StudyConfig(seed=args.seed),
         obs_ctx=ctx, outputs=args.artifacts,
         started_at=started_at, finished_at=time.time(),
-        store=getattr(args, "store", None))
+        store=getattr(args, "store", None),
+        invariants=getattr(args, "invariants", None))
     ctx.sink.emit({"type": "manifest", "manifest": manifest.to_json()})
     ctx.close()
     for artifact in args.artifacts:

@@ -103,19 +103,19 @@ def figure9_data(dataset):
             for vendor, counter in flows.items()}
 
 
-def export_all(study, directory):
-    """Write every figure's data as JSON under ``directory``.
+def figure_payloads(study):
+    """Every figure's data series, as one ``{figure name: payload}`` dict.
 
-    Returns the list of written paths.
+    The JSON-serializable source of truth shared by ``export_all`` and
+    the conformance baseline (:mod:`repro.verify`), which snapshots the
+    payloads without touching the filesystem.
     """
     from repro.core.chains import validate_all
     from repro.inspector.timeline import PROBE_TIME
-    directory = pathlib.Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
     dataset = study.dataset
     certificates = study.certificates
     survey = validate_all(certificates, study.validator(), at=PROBE_TIME)
-    payloads = {
+    return {
         "figure1": figure1_data(dataset),
         "figure2": figure2_data(dataset),
         "figure5": figure5_data(dataset, certificates, study.ecosystem),
@@ -126,6 +126,16 @@ def export_all(study, directory):
         "figure10": figure10_data(dataset),
         "figure11": figure11_data(dataset),
     }
+
+
+def export_all(study, directory):
+    """Write every figure's data as JSON under ``directory``.
+
+    Returns the list of written paths.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payloads = figure_payloads(study)
     written = []
     for name, payload in payloads.items():
         path = directory / f"{name}.json"

@@ -168,24 +168,27 @@ SERVER_ANALYSES = (
 )
 
 
-def _scheduler(specs, side, study, jobs, store):
+def _scheduler(specs, side, study, jobs, store, node_observer=None):
     if jobs is None:
         jobs = study.config.probe_jobs
     if store is None:
         store = getattr(study, "store", None)
     return AnalysisScheduler(specs, side=side, jobs=jobs, store=store,
-                             config=study.config)
+                             config=study.config,
+                             node_observer=node_observer)
 
 
-def run_client_side(study, jobs=None, store=None):
+def run_client_side(study, jobs=None, store=None, node_observer=None):
     """Section 4 + Appendix B analyses.
 
     ``jobs`` defaults to the study config's worker count; ``store``
     defaults to the study's attached artifact store (if any).
+    ``node_observer`` (see :class:`AnalysisScheduler`) lets the
+    conformance harness watch every node's packed result.
     """
     with obs.span("analysis.client") as side_span:
         scheduler = _scheduler(CLIENT_ANALYSES, "client", study, jobs,
-                               store)
+                               store, node_observer)
         results = scheduler.run({
             "dataset": lambda: study.dataset,
             "corpus": lambda: study.corpus,
@@ -194,11 +197,11 @@ def run_client_side(study, jobs=None, store=None):
     return results
 
 
-def run_server_side(study, jobs=None, store=None):
+def run_server_side(study, jobs=None, store=None, node_observer=None):
     """Section 5 + Appendix C analyses."""
     with obs.span("analysis.server") as side_span:
         scheduler = _scheduler(SERVER_ANALYSES, "server", study, jobs,
-                               store)
+                               store, node_observer)
         results = scheduler.run({
             "dataset": lambda: study.dataset,
             "certificates": lambda: study.certificates,
@@ -211,10 +214,25 @@ def run_server_side(study, jobs=None, store=None):
     return results
 
 
-def run_full_study(study, jobs=None, store=None):
+def run_full_study(study, jobs=None, store=None, node_observer=None):
     """Everything, in paper order."""
     with obs.span("analysis.full_study"):
         return {
-            "client": run_client_side(study, jobs=jobs, store=store),
-            "server": run_server_side(study, jobs=jobs, store=store),
+            "client": run_client_side(study, jobs=jobs, store=store,
+                                      node_observer=node_observer),
+            "server": run_server_side(study, jobs=jobs, store=store,
+                                      node_observer=node_observer),
         }
+
+
+def analysis_stage_names():
+    """Every scheduler stage name, in registry (paper) order.
+
+    The conformance harness orders baseline nodes and equivalence
+    reports by this sequence, so "first divergent node" always means
+    first in paper order, not first alphabetically.
+    """
+    return tuple([f"analysis.client.{spec.name}"
+                  for spec in CLIENT_ANALYSES]
+                 + [f"analysis.server.{spec.name}"
+                    for spec in SERVER_ANALYSES])

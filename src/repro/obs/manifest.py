@@ -38,6 +38,10 @@ class RunManifest:
     #: artifact-store traffic (dir, version, hit/miss/write stage lists)
     #: when the run used a cache; empty otherwise.
     cache: dict = field(default_factory=dict)
+    #: paper-invariant check results (``repro.verify.invariants``) when
+    #: the run evaluated them; empty otherwise.  Shape:
+    #: ``{"ok": bool, "checks": [{name, ok, observed, expected}, ...]}``.
+    invariants: dict = field(default_factory=dict)
 
     @property
     def elapsed_seconds(self):
@@ -45,14 +49,17 @@ class RunManifest:
 
     @classmethod
     def from_run(cls, command, config, obs_ctx, outputs=(),
-                 started_at=None, finished_at=None, store=None):
+                 started_at=None, finished_at=None, store=None,
+                 invariants=None):
         """Assemble a manifest from a config and a live obs context.
 
         ``config`` duck-types :class:`repro.config.StudyConfig` (needs
         ``.seed`` and ``.digest()``); ``obs_ctx`` may be disabled, in
         which case timings and metrics are empty.  ``store`` is an
         optional :class:`~repro.store.artifact.ArtifactStore` whose
-        cache traffic (:meth:`provenance`) the manifest records.
+        cache traffic (:meth:`provenance`) the manifest records;
+        ``invariants`` an optional paper-invariant result summary
+        (:func:`repro.verify.invariants.invariant_summary`).
         """
         from repro import __version__
         now = time.time()
@@ -72,6 +79,7 @@ class RunManifest:
             metrics=metrics,
             outputs=tuple(str(path) for path in outputs),
             cache=store.provenance() if store is not None else {},
+            invariants=invariants if invariants is not None else {},
         )
 
     def to_json(self):

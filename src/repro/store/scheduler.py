@@ -98,14 +98,23 @@ class AnalysisScheduler:
         jobs: worker threads (1 = the serial reference path).
         store: optional :class:`~repro.store.artifact.ArtifactStore`.
         config: the :class:`~repro.config.StudyConfig` keying the store.
+        node_observer: optional ``observer(stage_name, packed_value)``
+            called exactly once per node, with the node's packed result
+            — whether computed or served from the store.  The
+            conformance harness (:mod:`repro.verify`) uses this to
+            collect per-node digests/snapshots without re-running
+            anything; observers may run on worker threads and must be
+            thread-safe for distinct stage names.
     """
 
-    def __init__(self, specs, side, jobs=1, store=None, config=None):
+    def __init__(self, specs, side, jobs=1, store=None, config=None,
+                 node_observer=None):
         self.specs = tuple(specs)
         self.side = side
         self.jobs = max(1, int(jobs))
         self.store = store
         self.config = config
+        self.node_observer = node_observer
         names = [spec.name for spec in self.specs]
         if len(set(names)) != len(names):
             raise ValueError("duplicate analysis names in registry")
@@ -128,6 +137,7 @@ class AnalysisScheduler:
         if use_store:
             cached = self.store.get(self.config, self.stage_name(spec))
             if cached is not MISS:
+                self._observe(spec, cached)
                 return cached
         inputs = {}
         for name in spec.inputs:
@@ -142,7 +152,12 @@ class AnalysisScheduler:
                 spec.tally(span, packed)
         if use_store:
             self.store.put(self.config, self.stage_name(spec), packed)
+        self._observe(spec, packed)
         return packed
+
+    def _observe(self, spec, packed):
+        if self.node_observer is not None:
+            self.node_observer(self.stage_name(spec), packed)
 
     def _unpack(self, spec, packed, values):
         if len(spec.provides) == 1:

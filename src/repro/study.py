@@ -82,6 +82,19 @@ class Study:
         self.store = store
         return self
 
+    def adopt_certificates(self, certificates):
+        """Use a pre-built certificate dataset instead of probing.
+
+        A seam for the conformance harness (:mod:`repro.verify`) and for
+        tests: an equivalence-matrix mode probes through a
+        :class:`~repro.probing.engine.FaultInjector` with its own engine
+        and hands the result to a *fresh* ``Study`` here.  Never call
+        this on the shared memoized study — adopt only on instances you
+        own.
+        """
+        self._certificates = certificates
+        return self
+
     def _cached(self, stage):
         if self.store is None:
             return MISS

@@ -1,0 +1,239 @@
+"""The equivalence matrix: one study, many execution modes, one answer.
+
+The repository's headline determinism claims — serial vs ``--jobs N``,
+cold vs warm cache, fault-injected vs clean (given retry budget), any
+trust-store spelling — were each spot-checked in whichever test file
+introduced them.  The matrix enforces them *systematically*: it executes
+the full pipeline under a configurable grid of
+:class:`ExecutionMode`\\ s, has the :class:`AnalysisScheduler` report a
+canonical digest per analysis node in every mode, and asserts that all
+modes agree node-for-node.  A failure names the first pair of modes and
+the first analysis node (paper order) whose digests disagree — the
+starting point for bisecting a determinism regression.
+
+Every perf/scale PR gets the same cheap proof obligation: run
+``repro verify matrix`` (or ``make verify``) and show the grid still
+collapses to a single digest column.
+"""
+
+import tempfile
+from dataclasses import dataclass, field, replace
+
+from repro.config import MAJOR_STORES, StudyConfig
+from repro.core.pipeline import analysis_stage_names, run_full_study
+from repro.study import Study
+from repro.verify.baseline import VOLATILE_NODES
+from repro.verify.canonical import digest
+
+
+@dataclass(frozen=True)
+class ExecutionMode:
+    """One way of executing the identical study.
+
+    Attributes:
+        name: display label (also the report column).
+        jobs: scheduler/probe worker threads.
+        cache: ``"off"`` (no store), ``"cold"`` (fresh store), or
+            ``"warm"`` (same store, second run — every node a hit).
+        fault_rates: when set, probing goes through a
+            :class:`~repro.probing.engine.FaultInjector` with these
+            rates (keys: ``transient_rate``/``reset_rate``/
+            ``slow_rate``); ``max_faulty_attempts`` stays strictly
+            below the retry budget so every fault is recovered.
+        retries: probe attempt budget override (fault modes need > the
+            injector's ``max_faulty_attempts``).
+        trust_stores: trust-store selection spelling (any permutation
+            must produce identical artifacts).
+    """
+
+    name: str
+    jobs: int = 1
+    cache: str = "off"
+    fault_rates: tuple = ()   # of (rate name, value) pairs; frozen-able
+    retries: int = None
+    trust_stores: tuple = None
+
+
+def default_modes(parallel_jobs=4):
+    """The standard grid behind ``repro verify matrix``."""
+    return (
+        ExecutionMode("serial"),
+        ExecutionMode(f"jobs{parallel_jobs}", jobs=parallel_jobs),
+        ExecutionMode("cache-cold", cache="cold"),
+        ExecutionMode("cache-warm", cache="warm"),
+        ExecutionMode("faults-retried",
+                      fault_rates=(("transient_rate", 0.2),
+                                   ("reset_rate", 0.1)),
+                      retries=4),
+        ExecutionMode("stores-permuted",
+                      trust_stores=tuple(reversed(MAJOR_STORES))),
+    )
+
+
+@dataclass
+class ModeResult:
+    """Per-node digests one mode produced."""
+
+    mode: ExecutionMode
+    node_digests: dict
+
+    def comparable_digests(self):
+        return {name: value
+                for name, value in self.node_digests.items()
+                if name not in VOLATILE_NODES}
+
+
+@dataclass
+class MatrixReport:
+    """Pairwise equivalence verdict over all executed modes."""
+
+    results: list = field(default_factory=list)
+    #: (mode a, mode b, node, digest a, digest b) per disagreement.
+    mismatches: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.mismatches
+
+    @property
+    def first_mismatch(self):
+        return self.mismatches[0] if self.mismatches else None
+
+    def mode_names(self):
+        return [result.mode.name for result in self.results]
+
+    def render(self):
+        lines = [f"equivalence matrix: {len(self.results)} modes "
+                 f"({', '.join(self.mode_names())})"]
+        if self.ok:
+            nodes = len(self.results[0].comparable_digests()) \
+                if self.results else 0
+            lines.append(f"equivalent: all modes agree on all {nodes} "
+                         f"analysis nodes")
+        else:
+            first = self.first_mismatch
+            lines.append(f"NOT equivalent: {len(self.mismatches)} "
+                         f"node disagreements; first: node "
+                         f"{first[2]!r} differs between "
+                         f"{first[0]!r} and {first[1]!r}")
+            for mode_a, mode_b, node, dig_a, dig_b in self.mismatches:
+                lines.append(f"  {node}: {mode_a}={dig_a[:12]} "
+                             f"{mode_b}={dig_b[:12]}")
+        return "\n".join(lines)
+
+    def to_json(self):
+        return {
+            "ok": self.ok,
+            "modes": self.mode_names(),
+            "node_digests": {result.mode.name: result.node_digests
+                             for result in self.results},
+            "mismatches": [
+                {"mode_a": a, "mode_b": b, "node": node,
+                 "digest_a": da, "digest_b": db}
+                for a, b, node, da, db in self.mismatches],
+        }
+
+
+class EquivalenceMatrix:
+    """Executes a mode grid and compares per-node digests pairwise."""
+
+    def __init__(self, base_config=None, modes=None, workdir=None):
+        self.base_config = base_config if base_config is not None \
+            else StudyConfig()
+        self.modes = tuple(modes) if modes is not None \
+            else default_modes()
+        self.workdir = workdir
+
+    # -- mode execution -------------------------------------------------------
+
+    def _mode_config(self, mode):
+        config = replace(self.base_config, probe_jobs=max(1, mode.jobs))
+        if mode.trust_stores is not None:
+            config = replace(config, trust_stores=mode.trust_stores)
+        if mode.retries is not None:
+            config = replace(config,
+                             retry=replace(config.retry,
+                                           max_attempts=mode.retries))
+        return config
+
+    def _mode_study(self, mode, config):
+        # A fresh Study per mode: matrix modes must never pollute the
+        # global get_study memo (fault-injected certificates especially).
+        study = Study(config)
+        if mode.fault_rates:
+            from repro.probing.engine import FaultInjector, ProbeEngine
+            rates = dict(mode.fault_rates)
+            budget = config.retry.max_attempts
+            injector = FaultInjector(
+                study.network,
+                max_faulty_attempts=min(2, budget - 1), **rates)
+            engine = ProbeEngine(injector, vantages=config.vantages,
+                                 jobs=config.probe_jobs,
+                                 retry=config.retry,
+                                 seed=study.network.seed)
+            snis = [spec.fqdn for spec in study.world.servers]
+            study.adopt_certificates(engine.probe_all(snis))
+        return study
+
+    def _mode_store(self, mode, root):
+        from repro.store import ArtifactStore
+        if mode.cache == "off":
+            return None
+        return ArtifactStore(root)
+
+    def run_mode(self, mode, workdir):
+        """Execute one mode; returns its :class:`ModeResult`."""
+        config = self._mode_config(mode)
+        store = self._mode_store(mode, f"{workdir}/{mode.name}")
+        if mode.cache == "warm":
+            # Populate, then measure the all-hits run with fresh state.
+            warmup = self._mode_study(mode, config).attach_store(store)
+            run_full_study(warmup, jobs=mode.jobs)
+        study = self._mode_study(mode, config).attach_store(store)
+        digests = {}
+        run_full_study(
+            study, jobs=mode.jobs,
+            node_observer=lambda stage, packed:
+                digests.__setitem__(stage, digest(packed)))
+        return ModeResult(mode=mode, node_digests=digests)
+
+    # -- the grid -------------------------------------------------------------
+
+    def run(self):
+        """Execute every mode and compare; returns a :class:`MatrixReport`."""
+        results = []
+        with tempfile.TemporaryDirectory(
+                dir=self.workdir, prefix="repro-verify-") as workdir:
+            for mode in self.modes:
+                results.append(self.run_mode(mode, workdir))
+        return compare_results(results)
+
+
+def compare_results(results):
+    """Compare every mode against the first; returns a :class:`MatrixReport`.
+
+    Nodes are visited in paper order (``analysis_stage_names``), so the
+    report's *first* mismatch is the earliest pipeline node that broke
+    equivalence, not an alphabetical accident.
+    """
+    report = MatrixReport(results=list(results))
+    if not report.results:
+        return report
+    reference = report.results[0]
+    ref_digests = reference.comparable_digests()
+    node_order = [name for name in analysis_stage_names()
+                  if name in ref_digests]
+    node_order += [name for name in sorted(ref_digests)
+                   if name not in node_order]
+    for other in report.results[1:]:
+        other_digests = other.comparable_digests()
+        names = node_order + [name for name in sorted(other_digests)
+                              if name not in ref_digests]
+        for name in names:
+            dig_a = ref_digests.get(name, "<absent>")
+            dig_b = other_digests.get(name, "<absent>")
+            if dig_a != dig_b:
+                report.mismatches.append(
+                    (reference.mode.name, other.mode.name, name,
+                     dig_a, dig_b))
+    return report

@@ -332,6 +332,56 @@ class TestCachingCLI:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert main(["cache", "stats"]) == 2
 
+    def test_cache_clear_without_dir_is_an_error(self, capsys,
+                                                 monkeypatch):
+        from repro.cli import main
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "clear"]) == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_cache_stats_on_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main
+        missing = tmp_path / "never-created"
+        assert main(["cache", "stats", "--cache-dir",
+                     str(missing)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+        assert not missing.exists()  # stats must not create the dir
+
+    def test_cache_stats_on_empty_dir(self, tmp_path, capsys):
+        from repro.cli import main
+        empty = tmp_path / "cache"
+        empty.mkdir()
+        assert main(["cache", "stats", "--cache-dir", str(empty)]) == 0
+        text = capsys.readouterr().out
+        assert "0 entries" in text and "0.0 MB" in text
+
+    def test_cache_clear_on_missing_dir(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["cache", "clear", "--cache-dir",
+                     str(tmp_path / "never-created")]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+
+    def test_cache_clear_removes_corrupted_entries(self, tmp_path,
+                                                   capsys):
+        from repro.cli import main
+        cache = tmp_path / "cache"
+        store = ArtifactStore(cache)
+        store.put(StudyConfig(), "capture", {"rows": [1]})
+        shard = cache / "zz"
+        shard.mkdir()
+        (shard / "deadbeef.art").write_bytes(b"\x00garbage, no magic")
+        (shard / "torn.art").write_bytes(b"repro-artifact/1\n{trunc")
+        (shard / ".tmp-123").write_bytes(b"crashed writer leftovers")
+        # stats counts only readable entries; clear removes everything.
+        assert main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+        assert "removed 3 entries" in capsys.readouterr().out
+        assert list(cache.glob("*/*.art")) == []
+        assert list(cache.glob("*/.tmp-*")) == []
+        assert main(["cache", "stats", "--cache-dir", str(cache)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
     def test_config_first_flags_on_every_study_command(self):
         from repro.cli import build_parser
         parser = build_parser()

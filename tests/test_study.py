@@ -27,6 +27,27 @@ class TestMemoization:
         assert not [w for w in recwarn.list
                     if issubclass(w.category, DeprecationWarning)]
 
+    def test_get_study_seed_keyword_deprecation_message(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"get_study\(seed=\.\.\.\) is "
+                                r"deprecated.*StudyConfig"):
+            legacy = get_study(seed=DEFAULT_SEED)
+        assert legacy is get_study()
+
+    def test_study_seed_keyword_deprecation_message(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"Study\(seed=\.\.\.\) is "
+                                r"deprecated.*StudyConfig"):
+            legacy = Study(seed=4242)
+        assert legacy.seed == 4242
+
+    def test_config_and_conflicting_seed_rejected(self):
+        from repro.study import StudyConfig
+        with pytest.raises(ValueError, match="not both"):
+            Study(StudyConfig(seed=1), seed=2)
+        with pytest.raises(ValueError, match="not both"):
+            get_study(StudyConfig(seed=1), seed=2)
+
     def test_world_built_once(self, study):
         assert study.world is study.world
         assert study.dataset is study.dataset
