@@ -6,7 +6,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint check verify bench bench-probe bench-obs \
-        bench-store report figures examples clean
+        bench-store bench-sweep bench-gate sweep report figures \
+        examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,7 +19,7 @@ test:
 # in src/repro outside the CLI (library code reports via repro.obs) and
 # in benchmarks/ helper modules (bench_*.py scripts may still print).
 lint:
-	$(PYTHON) -m compileall -q src/repro tests benchmarks examples
+	$(PYTHON) -m compileall -q src/repro tests benchmarks examples tools
 	@bad=$$(grep -rn --include='*.py' '^[[:space:]]*print(' src/repro \
 	    | grep -v '^src/repro/cli\.py:' || true); \
 	if [ -n "$$bad" ]; then \
@@ -55,6 +56,20 @@ bench-store:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_store.py \
 	    -o BENCH_store.json
 
+bench-sweep:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep.py \
+	    -o BENCH_sweep.json
+
+# Re-run the gated benchmarks and compare against committed BENCH_*.json
+# (the CI bench-regression job).
+bench-gate:
+	$(PYTHON) tools/bench_gate.py --override store=0.5
+
+# Multi-seed campaign: 4 seeds, 2 worker processes, shared cache.
+sweep:
+	PYTHONPATH=src $(PYTHON) -m repro sweep run --seeds 4 --workers 2 \
+	    --out sweep_out --cache-dir .repro-cache
+
 report:
 	PYTHONPATH=src $(PYTHON) -m repro report -o study_report.md
 
@@ -72,5 +87,5 @@ examples:
 clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis study_report.md \
 	       figure_data capture.jsonl certificates.jsonl BENCH_probe.json \
-	       BENCH_obs.json BENCH_store.json trace.jsonl *.manifest.json \
-	       .repro-cache
+	       BENCH_obs.json BENCH_store.json BENCH_sweep.json trace.jsonl \
+	       *.manifest.json .repro-cache sweep_out bench_fresh

@@ -17,6 +17,11 @@ Commands:
 - ``verify``    differential conformance: ``record``/``check`` golden
   baselines, run the execution-mode equivalence ``matrix``, evaluate
   the paper ``invariants``;
+- ``sweep``     process-parallel multi-config campaigns: ``run`` a seed
+  grid (plus trust-store / fault-rate ablations) across worker
+  processes, ``resume`` a killed campaign (completed configs are
+  skipped via the campaign ledger), ``report`` the aggregate variance
+  bands around every paper anchor;
 - ``trace-summary``  render a ``--trace`` JSONL file (top spans by
   self-time, metric table, manifest line).
 
@@ -383,6 +388,104 @@ def cmd_verify_invariants(args):
     return 0 if summary["ok"] else 1
 
 
+def _sweep_cache_root(args):
+    """The shared artifact-store root sweep workers warm, or ``None``."""
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None) or \
+        os.environ.get(ENV_CACHE_DIR)
+
+
+def _finish_sweep(args, result):
+    """Aggregate a campaign, print + write the report; returns exit code."""
+    from repro.sweep import SweepAggregator
+    report = SweepAggregator.from_index(result.index).report()
+    print(f"sweep: ran {len(result.ran)}, skipped "
+          f"{len(result.skipped)} (already completed), failed "
+          f"{len(result.failed)}")
+    print(report.render())
+    report_path = os.path.join(args.out, "sweep_report.json")
+    with obs.span("cli.write_output"):
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    args.artifacts.append(report_path)
+    print(f"wrote sweep report to {report_path}")
+    return 0 if (result.ok and report.ok) else 1
+
+
+def cmd_sweep_run(args):
+    from repro.sweep import SweepRunner, expand_grid, parse_grid
+    try:
+        config = config_from_args(args)
+        units = expand_grid(config, seeds=args.seeds,
+                            grid=parse_grid(args.grid),
+                            time_scale=args.time_scale,
+                            stage=args.stage)
+    except ValueError as exc:
+        print(f"sweep run: {exc}", file=sys.stderr)
+        return 2
+    args.config = config
+    os.makedirs(args.out, exist_ok=True)
+    runner = SweepRunner(
+        units=units,
+        index_path=os.path.join(args.out, "campaign.json"),
+        workers=args.workers,
+        cache_dir=_sweep_cache_root(args))
+    print(f"sweep: {len(units)} units "
+          f"({', '.join(unit.name for unit in units[:8])}"
+          f"{', ...' if len(units) > 8 else ''}) across "
+          f"{args.workers} worker(s)")
+    result = runner.run()
+    return _finish_sweep(args, result)
+
+
+def _load_campaign(args):
+    """The campaign ledger under ``--out`` (also sets ``args.config``)."""
+    from repro.store.campaign import CampaignIndex
+    from repro.sweep import campaign_units
+    index = CampaignIndex.load(os.path.join(args.out, "campaign.json"))
+    units = campaign_units(index)
+    if units:
+        args.config = units[0].study_config()
+    return index
+
+
+def cmd_sweep_resume(args):
+    from repro.sweep import SweepRunner
+    try:
+        index = _load_campaign(args)
+    except ValueError as exc:
+        print(f"sweep resume: {exc}", file=sys.stderr)
+        return 2
+    runner = SweepRunner(
+        index_path=os.path.join(args.out, "campaign.json"),
+        workers=args.workers,
+        cache_dir=index.cache_dir)
+    result = runner.run(resume=True)
+    return _finish_sweep(args, result)
+
+
+def cmd_sweep_report(args):
+    from repro.sweep import SweepAggregator
+    try:
+        index = _load_campaign(args)
+    except ValueError as exc:
+        print(f"sweep report: {exc}", file=sys.stderr)
+        return 2
+    report = SweepAggregator.from_index(index).report()
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        args.artifacts.append(args.json)
+        print(f"wrote sweep report to {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_trace_summary(args):
     from repro.obs.summary import summarize_file
     try:
@@ -491,6 +594,58 @@ def build_parser():
     _add_cache(p_vinv)
     _add_obs(p_vinv)
     p_vinv.set_defaults(func=cmd_verify_invariants)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="process-parallel multi-config campaigns: seed grids, "
+             "trust-store and fault ablations, variance bands")
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command",
+                                       required=True)
+    p_srun = sweep_sub.add_parser(
+        "run", help="run (or re-run, skipping completed configs) a "
+                    "sweep campaign")
+    _add_config(p_srun)
+    _add_cache(p_srun)
+    p_srun.add_argument("--seeds", type=int, default=4,
+                        help="number of consecutive seeds starting at "
+                             "--seed (default %(default)s)")
+    p_srun.add_argument("--workers", type=int, default=1,
+                        help="worker processes; 1 runs inline "
+                             "(default %(default)s; output digests are "
+                             "identical for any value)")
+    p_srun.add_argument("--grid", metavar="AXES", default="seeds",
+                        help="comma-separated grid axes from "
+                             "seeds,stores,faults (default %(default)s)")
+    p_srun.add_argument("--stage", choices=("full", "probe"),
+                        default="full",
+                        help="run the full pipeline or stop after "
+                             "probing (default %(default)s)")
+    p_srun.add_argument("--time-scale", type=float, default=0.0,
+                        dest="time_scale",
+                        help="real seconds slept per simulated network "
+                             "second while probing (default "
+                             "%(default)s; never changes output bytes)")
+    p_srun.add_argument("--out", metavar="DIR", default="sweep_out",
+                        help="campaign directory: ledger + report "
+                             "(default %(default)s)")
+    _add_obs(p_srun)
+    p_srun.set_defaults(func=cmd_sweep_run)
+    p_sresume = sweep_sub.add_parser(
+        "resume", help="resume a killed campaign: re-run only "
+                       "incomplete configs")
+    p_sresume.add_argument("--out", metavar="DIR", default="sweep_out")
+    p_sresume.add_argument("--workers", type=int, default=1)
+    _add_obs(p_sresume)
+    p_sresume.set_defaults(func=cmd_sweep_resume, seed=DEFAULT_SEED)
+    p_sreport = sweep_sub.add_parser(
+        "report", help="aggregate a campaign ledger into variance "
+                       "bands (no re-running)")
+    p_sreport.add_argument("--out", metavar="DIR", default="sweep_out")
+    p_sreport.add_argument("--json", metavar="PATH", default=None,
+                           help="also write the aggregate report as "
+                                "JSON to PATH")
+    _add_obs(p_sreport)
+    p_sreport.set_defaults(func=cmd_sweep_report, seed=DEFAULT_SEED)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the artifact store")

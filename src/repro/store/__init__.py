@@ -19,9 +19,15 @@ reproduction the same shape:
   nodes in dependency (topological) order over a thread pool.  Results
   are byte-identical to the serial path at any ``jobs`` value, and every
   node transparently consults the store before computing.
+- :class:`~repro.store.campaign.CampaignIndex` — the atomic (temp file +
+  rename, like ``.art`` entries) campaign-level ledger a multi-config
+  sweep (:mod:`repro.sweep`) writes after every finished unit, so a
+  killed campaign resumes by re-running only incomplete configs.
 """
 
 from repro.store.artifact import MISS, ArtifactStore
+from repro.store.campaign import CampaignIndex, campaign_id_for
 from repro.store.scheduler import AnalysisScheduler, AnalysisSpec
 
-__all__ = ["MISS", "AnalysisScheduler", "AnalysisSpec", "ArtifactStore"]
+__all__ = ["MISS", "AnalysisScheduler", "AnalysisSpec", "ArtifactStore",
+           "CampaignIndex", "campaign_id_for"]

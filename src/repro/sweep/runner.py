@@ -1,0 +1,189 @@
+"""The process-parallel, resumable campaign runner.
+
+A campaign is N independent :class:`~repro.sweep.grid.SweepUnit`\\ s.
+Each unit is a full study — world generation, probing, analysis — whose
+cost is CPU-bound Python, so the thread pools used elsewhere in the
+repository (probe engine, analysis scheduler) cannot scale a *sweep*
+past the GIL.  :class:`SweepRunner` therefore fans units across a
+``ProcessPoolExecutor`` (spawn context: clean workers, identical
+behavior across platforms, and the same boundary the pickling
+regression tests guard), one study per worker process.
+
+Resumability: every completed unit is recorded in the
+:class:`~repro.store.campaign.CampaignIndex` ledger *as it finishes*
+(atomic rewrite), so killing a campaign loses at most the units still
+in flight.  ``run(resume=True)`` — or a re-run over the same out
+directory — consults the ledger and the units' content keys (built on
+``StudyConfig.artifact_digest``) and re-executes only incomplete
+configs.  Workers additionally share the campaign's
+:class:`~repro.store.artifact.ArtifactStore`, so even a unit killed
+mid-flight resumes from its cached stages rather than from scratch.
+
+Observability: the campaign runs inside a ``sweep.campaign`` span; each
+unit's completion bumps ``sweep.completed`` / ``sweep.failed`` (and
+skips bump ``sweep.skipped``), with per-unit spans
+(``sweep.unit.<name>``) recording wall seconds — real execution time
+inline, completion-processing time under the pool, where the worker's
+own per-stage timings travel back inside the result payload.
+"""
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.store.campaign import CampaignIndex, campaign_id_for
+from repro.sweep.grid import SweepUnit
+from repro.sweep.worker import run_unit
+
+
+@dataclass
+class CampaignResult:
+    """What one ``SweepRunner.run`` actually did."""
+
+    index: CampaignIndex
+    #: unit names executed this run, in completion order.
+    ran: list = field(default_factory=list)
+    #: unit names skipped because the ledger already had their results.
+    skipped: list = field(default_factory=list)
+    #: ``(unit name, error string)`` pairs that failed this run.
+    failed: list = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.failed
+
+    def results(self):
+        """Completed result payloads, in campaign unit order."""
+        return self.index.results()
+
+
+class SweepRunner:
+    """Executes a campaign of sweep units, process-parallel and resumable.
+
+    Args:
+        units: the campaign's :class:`SweepUnit`\\ s (ignored on
+            ``run(resume=True)``, which reloads them from the ledger).
+        index_path: where the campaign ledger lives.
+        workers: worker processes; 1 executes inline (the serial
+            reference path — byte-identical digests, no subprocesses).
+        cache_dir: optional shared artifact-store root every worker
+            warms and reads.
+        unit_runner: the per-unit function (tests inject stubs); only
+            honored inline — the pool always runs the real
+            :func:`repro.sweep.worker.run_unit`, which must stay
+            importable from a spawned process.
+        mp_context: ``multiprocessing`` start-method name for the pool.
+    """
+
+    def __init__(self, units=None, index_path=None, workers=1,
+                 cache_dir=None, unit_runner=run_unit,
+                 mp_context="spawn"):
+        self.units = tuple(units) if units is not None else ()
+        self.index_path = index_path
+        self.workers = max(1, int(workers))
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.unit_runner = unit_runner
+        self.mp_context = mp_context
+
+    # -- ledger handling ------------------------------------------------------
+
+    def _open_index(self, resume):
+        if resume:
+            index = CampaignIndex.load(self.index_path)
+            if self.cache_dir is None and index.cache_dir:
+                self.cache_dir = index.cache_dir
+            return index, [SweepUnit.from_json(spec)
+                           for spec in index.units]
+        units = list(self.units)
+        if not units:
+            raise ValueError("a fresh campaign needs at least one unit")
+        specs = [unit.to_json() for unit in units]
+        keys = [spec["key"] for spec in specs]
+        stage = units[0].stage
+        try:
+            index = CampaignIndex.load(self.index_path)
+        except ValueError:
+            index = None
+        if index is not None and index.matches(keys):
+            # Same campaign re-run: keep the ledger, skip completed.
+            return index, units
+        index = CampaignIndex.create(self.index_path, specs, stage,
+                                     cache_dir=self.cache_dir)
+        return index, units
+
+    # -- execution ------------------------------------------------------------
+
+    def _payload(self, unit):
+        return {"unit": unit.to_json(), "cache_dir": self.cache_dir}
+
+    def _finish(self, index, outcome, unit, resolve):
+        """Record one unit's outcome (result or failure) in the ledger."""
+        with obs.span(f"sweep.unit.{unit.name}") as span:
+            try:
+                result = resolve()
+            except Exception as exc:  # a unit failure, not the campaign's
+                error = f"{type(exc).__name__}: {exc}"
+                index.fail(unit.key(), error)
+                obs.incr("sweep.failed")
+                outcome.failed.append((unit.name, error))
+                return
+            span.incr("wall_ms",
+                      int(1000 * result.get("wall_seconds", 0)))
+        index.complete(unit.key(), result)
+        obs.incr("sweep.completed")
+        outcome.ran.append(unit.name)
+
+    def _run_inline(self, index, pending, outcome):
+        for unit in pending:
+            self._finish(index, outcome, unit,
+                         lambda u=unit: self.unit_runner(
+                             self._payload(u)))
+
+    def _run_pooled(self, index, pending, outcome):
+        import multiprocessing
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            running = {pool.submit(run_unit, self._payload(unit)): unit
+                       for unit in pending}
+            while running:
+                done, _ = wait(running, return_when=FIRST_COMPLETED)
+                for future in done:
+                    unit = running.pop(future)
+                    self._finish(index, outcome, unit, future.result)
+
+    def run(self, resume=False):
+        """Execute (or resume) the campaign; returns a :class:`CampaignResult`.
+
+        The ledger is updated after every unit, so interrupting this
+        call (Ctrl-C, SIGKILL, a crashed worker) never loses completed
+        units — the next ``run``/``resume`` picks up from the ledger.
+        """
+        with obs.span("sweep.campaign") as span:
+            index, units = self._open_index(resume)
+            outcome = CampaignResult(index=index)
+            completed = index.completed
+            pending = [unit for unit in units
+                       if unit.key() not in completed]
+            outcome.skipped = [unit.name for unit in units
+                               if unit.key() in completed]
+            if outcome.skipped:
+                obs.incr("sweep.skipped", n=len(outcome.skipped))
+            span.incr("units", len(units))
+            span.incr("pending", len(pending))
+            if pending:
+                if self.workers == 1:
+                    self._run_inline(index, pending, outcome)
+                else:
+                    self._run_pooled(index, pending, outcome)
+        return outcome
+
+
+def campaign_units(index):
+    """The live :class:`SweepUnit`\\ s recorded in a campaign ledger."""
+    return [SweepUnit.from_json(spec) for spec in index.units]
+
+
+__all__ = ["CampaignResult", "SweepRunner", "campaign_id_for",
+           "campaign_units"]

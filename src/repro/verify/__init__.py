@@ -21,8 +21,9 @@ from repro.verify.baseline import (CheckReport, Divergence,
 from repro.verify.canonical import (VOLATILE_KEYS, canonical_bytes,
                                     canonicalize, digest,
                                     first_divergence)
-from repro.verify.invariants import (PAPER_INVARIANTS, Invariant,
-                                     check_invariants,
+from repro.verify.invariants import (MATCH_RATE_BAND, PAPER_INVARIANTS,
+                                     UNIT_INTERVAL, VALIDITY_MAX_DAYS,
+                                     Invariant, check_invariants,
                                      invariant_summary,
                                      render_invariants)
 from repro.verify.matrix import (EquivalenceMatrix, ExecutionMode,
@@ -31,7 +32,8 @@ from repro.verify.matrix import (EquivalenceMatrix, ExecutionMode,
 
 __all__ = [
     "CheckReport", "Divergence", "EquivalenceMatrix", "ExecutionMode",
-    "Invariant", "MatrixReport", "ModeResult", "PAPER_INVARIANTS",
+    "Invariant", "MATCH_RATE_BAND", "MatrixReport", "ModeResult",
+    "PAPER_INVARIANTS", "UNIT_INTERVAL", "VALIDITY_MAX_DAYS",
     "VOLATILE_KEYS", "VOLATILE_NODES", "canonical_bytes",
     "canonicalize", "check_baseline", "check_invariants",
     "collect_snapshots", "compare_results", "default_modes", "digest",

@@ -20,6 +20,17 @@ SNI count, probability bounds) are exact.
 
 from dataclasses import dataclass
 
+#: Accepted band around the paper's ~2.55% corpus match rate (Sec. 4.1).
+MATCH_RATE_BAND = (0.015, 0.04)
+
+#: Probability-style quantities (DoC ratios, Jaccard, issuer shares)
+#: must lie in the unit interval.
+UNIT_INTERVAL = (0.0, 1.0)
+
+#: The 100-year vendor-signed validity extreme the paper reports
+#: (Sec. 5.4), in days — the upper bound for any leaf validity.
+VALIDITY_MAX_DAYS = 100 * 365
+
 
 @dataclass(frozen=True)
 class Invariant:
@@ -106,7 +117,8 @@ PAPER_INVARIANTS = (
         expected="~2.55% of fingerprints match the corpus "
                  "(Sec. 4.1; accepted band 1.5%-4%)",
         check=_match_rate,
-        accept=lambda rate: 0.015 <= rate <= 0.04),
+        accept=lambda rate:
+            MATCH_RATE_BAND[0] <= rate <= MATCH_RATE_BAND[1]),
     Invariant(
         "doc-bounds",
         expected="every DoC_vendor / DoC_device ratio in [0, 1] "
@@ -144,7 +156,7 @@ PAPER_INVARIANTS = (
         expected="leaf validity positive, bounded by the 100-year "
                  "vendor-signed extreme the paper reports (Sec. 5.4)",
         check=_validity_range,
-        accept=lambda lohi: 0 < lohi[0] <= lohi[1] <= 100 * 365),
+        accept=lambda lohi: 0 < lohi[0] <= lohi[1] <= VALIDITY_MAX_DAYS),
 )
 
 

@@ -1,0 +1,161 @@
+"""CI bench-regression gate.
+
+Re-runs the repository's performance benchmarks and compares the fresh
+numbers against the committed ``BENCH_*.json`` baselines at the repo
+root, failing the build when a headline metric regresses past the
+tolerance:
+
+- **ratio** metrics (probe/store/sweep speedups) must stay at or above
+  ``baseline * (1 - tolerance)``;
+- **bool** metrics (the obs overhead budget) must stay true whenever the
+  baseline was true.
+
+Fresh numbers are written to ``--out-dir`` (default ``bench_fresh/``) so
+CI can upload them as an artifact next to the verdicts.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_gate.py \
+        [--bench probe --bench store ...] [--tolerance 0.3] \
+        [--override store=0.5] [--out-dir bench_fresh]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: every gated benchmark: script, committed baseline, headline metric.
+BENCHES = {
+    "probe": {
+        "script": "benchmarks/bench_probe_engine.py",
+        "baseline": "BENCH_probe.json",
+        "metric": "speedup",
+        "kind": "ratio",
+    },
+    "store": {
+        "script": "benchmarks/bench_store.py",
+        "baseline": "BENCH_store.json",
+        "metric": "warm_over_cold_speedup",
+        "kind": "ratio",
+    },
+    "obs": {
+        "script": "benchmarks/bench_obs_overhead.py",
+        "baseline": "BENCH_obs.json",
+        "metric": "within_budget",
+        "kind": "bool",
+    },
+    "sweep": {
+        "script": "benchmarks/bench_sweep.py",
+        "baseline": "BENCH_sweep.json",
+        "metric": "speedup",
+        "kind": "ratio",
+    },
+}
+
+
+def parse_overrides(pairs):
+    """``["store=0.5"]`` → ``{"store": 0.5}`` (validated names)."""
+    overrides = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if name not in BENCHES or not value:
+            raise SystemExit(
+                f"bad --override {pair!r}; expected NAME=TOLERANCE "
+                f"with NAME in {sorted(BENCHES)}")
+        overrides[name] = float(value)
+    return overrides
+
+
+def run_bench(name, spec, out_dir):
+    """Execute one benchmark script; returns its fresh payload."""
+    fresh_path = out_dir / spec["baseline"]
+    command = [sys.executable, str(REPO_ROOT / spec["script"]),
+               "-o", str(fresh_path)]
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] \
+        if env.get("PYTHONPATH") else src
+    print(f"[{name}] running {spec['script']} ...", flush=True)
+    completed = subprocess.run(command, cwd=str(REPO_ROOT), env=env)
+    if completed.returncode != 0:
+        raise SystemExit(
+            f"[{name}] benchmark exited {completed.returncode}")
+    with open(fresh_path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check(name, spec, baseline, fresh, tolerance):
+    """One verdict dict comparing fresh vs committed baseline."""
+    metric = spec["metric"]
+    base_value, fresh_value = baseline[metric], fresh[metric]
+    if spec["kind"] == "bool":
+        ok = bool(fresh_value) or not bool(base_value)
+        floor = base_value
+    else:
+        floor = round(float(base_value) * (1.0 - tolerance), 3)
+        ok = float(fresh_value) >= floor
+    return {"bench": name, "metric": metric, "baseline": base_value,
+            "fresh": fresh_value, "floor": floor,
+            "tolerance": tolerance, "ok": ok}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", action="append", dest="benches",
+                        choices=sorted(BENCHES), default=None,
+                        help="gate only these benchmarks (repeatable; "
+                             "default: probe, store, obs)")
+    parser.add_argument("--tolerance", type=float, default=0.3,
+                        help="allowed fractional regression for ratio "
+                             "metrics (default %(default)s)")
+    parser.add_argument("--override", action="append", default=[],
+                        metavar="NAME=TOLERANCE",
+                        help="per-benchmark tolerance override, e.g. "
+                             "store=0.5 for the noisy warm-cache ratio")
+    parser.add_argument("--out-dir", default="bench_fresh",
+                        help="where fresh BENCH_*.json land "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+
+    names = args.benches or ["probe", "store", "obs"]
+    overrides = parse_overrides(args.override)
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    verdicts = []
+    for name in names:
+        spec = BENCHES[name]
+        baseline_path = REPO_ROOT / spec["baseline"]
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        fresh = run_bench(name, spec, out_dir)
+        tolerance = overrides.get(name, args.tolerance)
+        verdicts.append(check(name, spec, baseline, fresh, tolerance))
+
+    print("\nbench-regression gate:")
+    for verdict in verdicts:
+        mark = "ok  " if verdict["ok"] else "FAIL"
+        print(f"  {mark} {verdict['bench']:6s} "
+              f"{verdict['metric']:24s} fresh={verdict['fresh']} "
+              f"baseline={verdict['baseline']} "
+              f"floor={verdict['floor']}")
+    summary_path = out_dir / "bench_gate.json"
+    summary_path.write_text(
+        json.dumps({"ok": all(v["ok"] for v in verdicts),
+                    "verdicts": verdicts}, indent=2, sort_keys=True)
+        + "\n", encoding="utf-8")
+    print(f"wrote {summary_path}")
+    if not all(verdict["ok"] for verdict in verdicts):
+        print("bench-regression gate FAILED", file=sys.stderr)
+        return 1
+    print("bench-regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
