@@ -6,8 +6,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint check verify bench bench-probe bench-obs \
-        bench-store bench-sweep bench-gate sweep report figures \
-        examples clean
+        bench-store bench-sweep bench-serve bench-gate serve sweep \
+        report figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -60,10 +60,19 @@ bench-sweep:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_sweep.py \
 	    -o BENCH_sweep.json
 
+bench-serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py \
+	    -o BENCH_serve.json
+
 # Re-run the gated benchmarks and compare against committed BENCH_*.json
 # (the CI bench-regression job).
 bench-gate:
 	$(PYTHON) tools/bench_gate.py --override store=0.5
+
+# Stream-ingest the capture and serve the query API (checkpoints into
+# the local cache so a restarted server resumes).
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro serve --cache-dir .repro-cache
 
 # Multi-seed campaign: 4 seeds, 2 worker processes, shared cache.
 sweep:
@@ -87,5 +96,6 @@ examples:
 clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis study_report.md \
 	       figure_data capture.jsonl certificates.jsonl BENCH_probe.json \
-	       BENCH_obs.json BENCH_store.json BENCH_sweep.json trace.jsonl \
+	       BENCH_obs.json BENCH_store.json BENCH_sweep.json \
+	       BENCH_serve.json trace.jsonl \
 	       *.manifest.json .repro-cache sweep_out bench_fresh

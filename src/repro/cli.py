@@ -14,9 +14,16 @@ Commands:
 - ``figures``   export plot-ready JSON data for every figure;
 - ``cache``     inspect (``stats``) or empty (``clear``) the artifact
   store;
+- ``serve``     stream-ingest the capture through the incremental
+  analyses and answer the paper's hot queries over a stdlib HTTP/JSON
+  API (``/healthz``, ``/metrics``, ``/v1/doc``, ``/v1/fingerprints``,
+  ``/v1/match-rate``, ``/v1/issuers``, ``/v1/verdicts``); with a cache
+  directory the ingester resumes from its last compacted checkpoint;
+  ``--smoke`` runs the built-in load mix against the warm server and
+  exits (the CI smoke job);
 - ``verify``    differential conformance: ``record``/``check`` golden
   baselines, run the execution-mode equivalence ``matrix``, evaluate
-  the paper ``invariants``;
+  the paper ``invariants``, prove ``streaming`` == batch;
 - ``sweep``     process-parallel multi-config campaigns: ``run`` a seed
   grid (plus trust-store / fault-rate ablations) across worker
   processes, ``resume`` a killed campaign (completed configs are
@@ -313,6 +320,43 @@ def _write_verify_report(args, payload):
         print(f"wrote verify report to {args.report}")
 
 
+def cmd_serve(args):
+    from repro.ingest import run_load, serve_study
+    from repro.inspector.timeline import days
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    import threading
+    server, service = serve_study(
+        study, host=args.host, port=args.port,
+        window_seconds=days(args.window_days), store=args.store)
+    host, port = server.server_address[:2]
+    print(f"serving study (seed {args.seed}) on http://{host}:{port} "
+          f"— {service.ingester.records_ingested} records in "
+          f"{service.ingester.stream.window_count} windows"
+          f"{' (resumed from checkpoint)' if service.ingester.resumed else ''}")
+    if args.smoke:
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        result = run_load(f"http://{host}:{port}",
+                          requests_per_worker=args.smoke_requests,
+                          workers=2)
+        server.shutdown()
+        summary = result.to_json()
+        print(f"smoke: {summary['requests']} requests, "
+              f"{summary['errors']} errors, {summary['qps']} q/s, "
+              f"p99 {summary['p99_ms']} ms")
+        return 0 if summary["errors"] == 0 else 1
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_verify_record(args):
     from repro.verify import (invariant_summary, record_baseline,
                               render_invariants, run_and_snapshot)
@@ -386,6 +430,19 @@ def cmd_verify_invariants(args):
     args.invariants = summary
     print(render_invariants(summary))
     return 0 if summary["ok"] else 1
+
+
+def cmd_verify_streaming(args):
+    from repro.inspector.timeline import days
+    from repro.verify import check_streaming
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    report = check_streaming(study, window_seconds=days(args.window_days),
+                             store=args.store)
+    print(report.render())
+    _write_verify_report(args, report.to_json())
+    return 0 if report.ok else 1
 
 
 def _sweep_cache_root(args):
@@ -549,6 +606,28 @@ def build_parser():
                           choices=("acme", "aia", "revocation", "all"))
     _add_obs(p_whatif)
 
+    p_serve = _add_study_command(
+        sub, "serve",
+        "stream-ingest the capture, serve the query API over HTTP",
+        cmd_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default %(default)s)")
+    p_serve.add_argument("--port", type=int, default=8437,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(default %(default)s)")
+    p_serve.add_argument("--window-days", type=int, default=28,
+                         dest="window_days",
+                         help="stream window width in capture days "
+                              "(default %(default)s)")
+    p_serve.add_argument("--smoke", action="store_true",
+                         help="run the built-in load mix against the "
+                              "warm server, print the summary, exit")
+    p_serve.add_argument("--smoke-requests", type=int, default=50,
+                         dest="smoke_requests",
+                         help="requests per smoke worker "
+                              "(default %(default)s)")
+    _add_obs(p_serve)
+
     p_verify = sub.add_parser(
         "verify",
         help="differential conformance: golden baselines, equivalence "
@@ -594,6 +673,21 @@ def build_parser():
     _add_cache(p_vinv)
     _add_obs(p_vinv)
     p_vinv.set_defaults(func=cmd_verify_invariants)
+    p_vstream = verify_sub.add_parser(
+        "streaming",
+        help="prove the streaming ingest path's final state equals "
+             "the batch pipeline's, node for node")
+    _add_config(p_vstream)
+    _add_cache(p_vstream)
+    p_vstream.add_argument("--window-days", type=int, default=28,
+                           dest="window_days",
+                           help="stream window width in capture days "
+                                "(default %(default)s)")
+    p_vstream.add_argument("--report", metavar="PATH", default=None,
+                           help="also write per-node digests as JSON "
+                                "to PATH")
+    _add_obs(p_vstream)
+    p_vstream.set_defaults(func=cmd_verify_streaming)
 
     p_sweep = sub.add_parser(
         "sweep",

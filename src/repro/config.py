@@ -6,9 +6,9 @@ policy, and which major trust stores the validator unions — so a study is
 reproducible from its config alone.  It is hashable (all-frozen fields),
 which is what lets :func:`repro.study.get_study` memoize per config.
 
-Construction is config-first everywhere: the deprecated bare-seed
-``get_study(seed=...)`` shim in :mod:`repro.study` still promotes a seed
-to ``StudyConfig(seed=...)``, with a ``DeprecationWarning``.
+Construction is config-first everywhere: the legacy bare-seed
+``get_study(seed=...)`` shim in :mod:`repro.study` is gone — it raises
+``TypeError`` with the ``StudyConfig(seed=...)`` migration spelling.
 """
 
 import hashlib

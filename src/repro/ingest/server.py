@@ -1,0 +1,298 @@
+"""``repro serve`` — the warm HTTP/JSON query API over ingested state.
+
+A stdlib-only (``http.server``) threaded service answering the paper's
+hot queries from the incremental analyses' warm state — no pipeline run
+per request.  Routing and payload assembly live in
+:class:`QueryService.handle`, a pure ``(path, params) -> (status,
+payload)`` function, so every endpoint is unit-testable without a
+socket; :func:`make_server` wraps it in a ``ThreadingHTTPServer``.
+
+Every response — success or error — is a versioned envelope::
+
+    {"schema_version": 1, "api_version": "v1", "endpoint": ...,
+     "data": {...}}                     # 200
+    {"schema_version": 1, "api_version": "v1",
+     "error": {"status": 404, "message": ...}}   # 4xx
+
+Endpoints:
+
+- ``GET /healthz`` — liveness + ingest progress;
+- ``GET /metrics`` — the active :mod:`repro.obs` registry snapshot;
+- ``GET /v1/doc[?vendor=]`` — per-vendor DoC (Figure 2);
+- ``GET /v1/fingerprints[?id=|limit=]`` — the live fingerprint index;
+- ``GET /v1/match-rate`` — the Section 4.1 corpus match rate;
+- ``GET /v1/issuers[?vendor=]`` — issuer shares / one Figure 5 column;
+- ``GET /v1/verdicts[?sni=]`` — per-SNI certificate validation verdicts.
+"""
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro import obs
+from repro.core.chains import validate_all
+from repro.core.issuers import leaf_issuer_org
+from repro.inspector.timeline import PROBE_TIME
+from repro.schema import versioned
+
+#: the query API version every ``/v1/...`` route speaks.
+API_VERSION = "v1"
+
+
+def envelope(endpoint, data):
+    """The versioned success envelope of one response."""
+    return versioned({"api_version": API_VERSION,
+                      "endpoint": endpoint, "data": data})
+
+
+def error_envelope(status, message):
+    """The versioned error envelope (404/400/...)."""
+    return versioned({"api_version": API_VERSION,
+                      "error": {"status": status, "message": message}})
+
+
+class QueryError(Exception):
+    """An HTTP error response (status + message)."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class QueryService:
+    """Warm query state + routing for the HTTP API."""
+
+    def __init__(self, study, ingester):
+        self.study = study
+        self.ingester = ingester
+        self._snapshots = None
+        self._verdicts = None
+
+    # -- warm state -----------------------------------------------------------
+
+    def warm(self):
+        """Finish ingesting (resuming if possible) and cache answers."""
+        with obs.span("serve.warm"):
+            if not self.ingester.finished:
+                self.ingester.run()
+            self.refresh()
+        return self
+
+    def refresh(self):
+        """Re-fold the analyses' state into the served snapshots."""
+        self._snapshots = self.ingester.snapshots()
+        if self._verdicts is None:
+            self._verdicts = self._build_verdicts()
+
+    def _build_verdicts(self):
+        survey = validate_all(self.study.certificates,
+                              self.study.validator(), at=PROBE_TIME)
+        verdicts = {}
+        for fqdn in sorted(survey.reports):
+            report = survey.reports[fqdn]
+            verdicts[fqdn] = {
+                "sni": fqdn,
+                "status": report.status.value,
+                "valid": report.valid,
+                "hostname_ok": report.hostname_ok,
+                "expired": report.expired,
+                "chain_complete": report.chain_complete,
+                "anchor_in_store": report.anchor_in_store,
+                "presented_length": report.presented_length,
+                "path_length": report.path_length,
+                "issuer": leaf_issuer_org(report.leaf),
+                "validity_days": round(report.leaf.validity_days, 1),
+            }
+        return verdicts
+
+    @property
+    def snapshots(self):
+        if self._snapshots is None:
+            self.warm()
+        return self._snapshots
+
+    @property
+    def verdicts(self):
+        if self._verdicts is None:
+            self.warm()
+        return self._verdicts
+
+    # -- routing --------------------------------------------------------------
+
+    def handle(self, path, params=None):
+        """Answer one request; returns ``(status, payload)``.
+
+        ``params`` is a ``{name: [values]}`` query mapping (as produced
+        by ``urllib.parse.parse_qs``).
+        """
+        params = params or {}
+        routes = {
+            "/healthz": self._healthz,
+            "/metrics": self._metrics,
+            "/v1/doc": self._doc,
+            "/v1/fingerprints": self._fingerprints,
+            "/v1/match-rate": self._match_rate,
+            "/v1/issuers": self._issuers,
+            "/v1/verdicts": self._verdicts_route,
+        }
+        handler = routes.get(path)
+        if handler is None:
+            obs.incr("serve.errors", key="404")
+            return 404, error_envelope(404, f"unknown route {path!r}")
+        try:
+            allowed = getattr(handler, "params", ())
+            unknown = sorted(set(params) - set(allowed))
+            if unknown:
+                raise QueryError(
+                    400, f"unknown query parameter(s): "
+                         f"{', '.join(unknown)}")
+            data = handler(params)
+        except QueryError as exc:
+            obs.incr("serve.errors", key=str(exc.status))
+            return exc.status, error_envelope(exc.status, exc.message)
+        obs.incr("serve.requests", key=path)
+        return 200, envelope(path, data)
+
+    @staticmethod
+    def _param(params, name):
+        """The single value of query param ``name``, or ``None``.
+
+        Empty and repeated values are malformed (400).
+        """
+        if name not in params:
+            return None
+        values = [value for value in params[name] if value]
+        if len(values) != 1:
+            raise QueryError(400, f"parameter {name!r} needs exactly "
+                                  f"one non-empty value")
+        return values[0]
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _healthz(self, params):
+        status = self.ingester.status()
+        status["status"] = "ok" if status["finished"] else "ingesting"
+        return status
+    _healthz.params = ()
+
+    def _metrics(self, params):
+        ctx = obs.current()
+        snapshot = ctx.metrics.snapshot() if ctx.enabled else {}
+        return {"enabled": ctx.enabled, "metrics": snapshot}
+    _metrics.params = ()
+
+    def _doc(self, params):
+        snapshot = self.snapshots["doc"]
+        vendor = self._param(params, "vendor")
+        if vendor is None:
+            return snapshot
+        if vendor not in snapshot["doc_vendor"]:
+            raise QueryError(404, f"unknown vendor {vendor!r}")
+        return {"vendor": vendor,
+                "doc_vendor": snapshot["doc_vendor"][vendor],
+                "doc_device": snapshot["doc_device"][vendor]}
+    _doc.params = ("vendor",)
+
+    def _fingerprints(self, params):
+        snapshot = self.snapshots["fingerprint_index"]
+        fp_id = self._param(params, "id")
+        if fp_id is not None:
+            entry = snapshot["fingerprints"].get(fp_id)
+            if entry is None:
+                raise QueryError(404,
+                                 f"unknown fingerprint id {fp_id!r}")
+            return entry
+        limit = self._param(params, "limit")
+        ids = sorted(snapshot["fingerprints"])
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except ValueError:
+                raise QueryError(400, f"limit must be an integer, "
+                                      f"got {limit!r}") from None
+            if limit < 0:
+                raise QueryError(400, "limit must be >= 0")
+            ids = ids[:limit]
+        return {"fingerprint_count": snapshot["fingerprint_count"],
+                "ids": ids}
+    _fingerprints.params = ("id", "limit")
+
+    def _match_rate(self, params):
+        return self.snapshots["match_rate"]
+    _match_rate.params = ()
+
+    def _issuers(self, params):
+        snapshot = self.snapshots["issuer_shares"]
+        vendor = self._param(params, "vendor")
+        if vendor is None:
+            return snapshot
+        column = snapshot["matrix"].get(vendor)
+        if column is None:
+            raise QueryError(404, f"unknown vendor {vendor!r}")
+        total = sum(column.values())
+        return {"vendor": vendor,
+                "issuers": {org: count / total
+                            for org, count in column.items()}}
+    _issuers.params = ("vendor",)
+
+    def _verdicts_route(self, params):
+        sni = self._param(params, "sni")
+        if sni is None:
+            counts = {}
+            for verdict in self.verdicts.values():
+                counts[verdict["status"]] = \
+                    counts.get(verdict["status"], 0) + 1
+            return {"verdict_count": len(self.verdicts),
+                    "status_counts": dict(sorted(counts.items()))}
+        verdict = self.verdicts.get(sni)
+        if verdict is None:
+            raise QueryError(404, f"unknown sni {sni!r}")
+        return verdict
+    _verdicts_route.params = ("sni",)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP shim over :meth:`QueryService.handle`."""
+
+    #: set by :func:`make_server`.
+    service = None
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        status, payload = self.service.handle(
+            parsed.path, parse_qs(parsed.query,
+                                  keep_blank_values=True))
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):
+        """Suppress per-request stderr noise; obs counters cover it."""
+
+
+def make_server(service, host="127.0.0.1", port=0):
+    """A ``ThreadingHTTPServer`` bound to ``service`` (port 0: ephemeral)."""
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve_study(study, host="127.0.0.1", port=0, window_seconds=None,
+                store=None, compact_every=4):
+    """Warm a query service over ``study`` and bind an HTTP server.
+
+    Returns ``(server, service)``; the caller owns
+    ``server.serve_forever()`` / ``server.shutdown()``.
+    """
+    from repro.ingest.ingester import Ingester
+    from repro.ingest.stream import DEFAULT_WINDOW_SECONDS
+    ingester = Ingester(
+        study,
+        window_seconds=window_seconds or DEFAULT_WINDOW_SECONDS,
+        store=store, compact_every=compact_every)
+    service = QueryService(study, ingester).warm()
+    return make_server(service, host=host, port=port), service

@@ -3,6 +3,7 @@
 from dataclasses import dataclass, field
 
 from repro.libraries.base import fingerprint_key
+from repro.schema import versioned
 from repro.tlslib.versions import TLSVersion
 
 
@@ -124,7 +125,7 @@ class ClientHelloRecord:
 
     def to_json(self):
         """The anonymized-capture JSONL row (IoT Inspector's schema)."""
-        return {
+        return versioned({
             "device_id": self.device_id,
             "vendor": self.vendor,
             "device_type": self.device_type,
@@ -134,7 +135,7 @@ class ClientHelloRecord:
             "ciphersuites": list(self.ciphersuites),
             "extensions": list(self.extensions),
             "sni": self.sni,
-        }
+        })
 
     @classmethod
     def from_json(cls, data):

@@ -21,6 +21,8 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 
+from repro.schema import strip_version, versioned
+
 
 @dataclass
 class RunManifest:
@@ -86,11 +88,11 @@ class RunManifest:
         payload = asdict(self)
         payload["outputs"] = list(self.outputs)
         payload["elapsed_seconds"] = self.elapsed_seconds
-        return payload
+        return versioned(payload)
 
     @classmethod
     def from_json(cls, payload):
-        fields = dict(payload)
+        fields = strip_version(payload)
         fields.pop("elapsed_seconds", None)
         fields["outputs"] = tuple(fields.get("outputs", ()))
         return cls(**fields)

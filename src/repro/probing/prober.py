@@ -14,6 +14,7 @@ from repro.inspector.timeline import PROBE_TIME
 from repro.probing.certdataset import CertificateDataset
 from repro.probing.network import UnreachableError
 from repro.probing.vantage import VANTAGE_POINTS
+from repro.schema import versioned
 from repro.tlslib.ciphersuites import codes_by_names
 from repro.tlslib.clienthello import ClientHello
 from repro.tlslib.errors import TLSError
@@ -70,8 +71,8 @@ class ProbeResult:
         Pass the world's ``ct_logs`` to include the leaf's CT presence
         the way the paper's crt.sh lookups do.
         """
-        row = {"fqdn": self.fqdn, "vantage": self.vantage,
-               "reachable": self.reachable}
+        row = versioned({"fqdn": self.fqdn, "vantage": self.vantage,
+                         "reachable": self.reachable})
         if self.error is not None:
             row["error"] = self.error
         if self.leaf is None:

@@ -1,0 +1,36 @@
+"""The shared schema version of every externally visible JSON payload.
+
+Anything the package writes for an outside consumer — the anonymized
+capture rows (:meth:`ClientHelloRecord.to_json`), the per-server probe
+summary rows (:meth:`ProbeResult.to_json`), run manifests, sweep
+reports, and the ``repro serve`` HTTP response envelopes — carries one
+``schema_version`` field so consumers can detect incompatible changes
+without guessing from key shapes.  There is exactly one constant for the
+whole package: bumping it declares that *some* external payload changed
+shape, and the version-fenced artifact store plus the golden baselines
+catch any accidental drift within a version.
+"""
+
+#: Version of every externally visible JSON payload schema.  Bump when
+#: any ``to_json`` row, manifest, report, or HTTP envelope changes shape
+#: incompatibly.
+SCHEMA_VERSION = 1
+
+#: The key carrying :data:`SCHEMA_VERSION` in every payload.
+SCHEMA_KEY = "schema_version"
+
+
+def versioned(payload):
+    """Stamp ``payload`` (a dict) with the package schema version."""
+    payload[SCHEMA_KEY] = SCHEMA_VERSION
+    return payload
+
+
+def strip_version(payload):
+    """A copy of ``payload`` without the schema-version stamp.
+
+    ``from_json`` constructors use this so round-tripping a stamped row
+    through a dataclass constructor never trips over the extra key.
+    """
+    return {key: value for key, value in payload.items()
+            if key != SCHEMA_KEY}

@@ -13,12 +13,12 @@ A study may also carry a persistent
 are then read from / written to the on-disk cache, so a fresh process
 with a warm cache skips world generation and probing entirely.
 
-The constructor is config-first.  ``Study(seed=...)``, ``get_study(7)``
-and ``get_study(seed=7)`` still work but emit a ``DeprecationWarning``;
-pass a :class:`StudyConfig` (or nothing, for the default config).
+The constructor is config-first.  The legacy bare-seed spellings —
+``Study(seed=...)``, ``get_study(7)``, ``get_study(seed=7)`` — are
+gone: they raise :class:`TypeError` with the exact migration hint; pass
+a :class:`StudyConfig` (or nothing, for the default config).
 """
 
-import warnings
 from functools import lru_cache
 
 from repro import obs
@@ -50,16 +50,22 @@ def _shared_corpus():
 
 
 def _promote_seed(config, seed, caller):
-    """The config-first promotion shared by Study and get_study."""
+    """The config-first enforcement shared by Study and get_study.
+
+    The bare-seed shim went through its deprecation cycle
+    (DeprecationWarning since the config-first PR); it now fails loudly
+    with the migration spelling instead of silently promoting.
+    """
+    if seed is not None:
+        raise TypeError(
+            f"{caller}(seed={seed!r}) was removed; pass "
+            f"{caller}(StudyConfig(seed={seed!r})) instead")
     if config is None:
-        if seed is not None:
-            warnings.warn(
-                f"{caller}(seed=...) is deprecated; pass "
-                f"{caller}(StudyConfig(seed=...)) instead",
-                DeprecationWarning, stacklevel=3)
-        return StudyConfig(seed=DEFAULT_SEED if seed is None else seed)
-    if seed is not None and seed != config.seed:
-        raise ValueError("pass either a config or a seed, not both")
+        return StudyConfig(seed=DEFAULT_SEED)
+    if isinstance(config, int):
+        raise TypeError(
+            f"{caller}({config!r}) was removed; pass "
+            f"{caller}(StudyConfig(seed={config!r})) instead")
     return config
 
 
@@ -207,10 +213,7 @@ def get_study(config=None, seed=None):
 
     Config-first: pass a :class:`StudyConfig` (or nothing for the
     default).  The legacy bare-seed spellings — ``get_study(seed=7)``
-    and positional ``get_study(7)`` — still promote the seed to
-    ``StudyConfig(seed=7)`` but emit a ``DeprecationWarning``.  Equal
-    configs share one :class:`Study`.
+    and positional ``get_study(7)`` — raise :class:`TypeError` with the
+    migration hint.  Equal configs share one :class:`Study`.
     """
-    if isinstance(config, int):
-        config, seed = None, config
     return _study_for_config(_promote_seed(config, seed, "get_study"))

@@ -20,6 +20,7 @@ module turns the per-unit results into a :class:`SweepReport`:
 import math
 from dataclasses import dataclass, field
 
+from repro.schema import versioned
 from repro.verify.invariants import (MATCH_RATE_BAND, UNIT_INTERVAL,
                                      VALIDITY_MAX_DAYS)
 
@@ -94,7 +95,7 @@ class SweepReport:
                 and all(entry["ok"] for entry in self.bands))
 
     def to_json(self):
-        return {
+        return versioned({
             "ok": self.ok,
             "campaign_id": self.campaign_id,
             "stage": self.stage,
@@ -109,7 +110,7 @@ class SweepReport:
             "invariants": dict(self.invariants),
             "bands": list(self.bands),
             "units": list(self.units),
-        }
+        })
 
     def render(self):
         """Human-readable campaign summary."""

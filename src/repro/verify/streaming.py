@@ -1,0 +1,97 @@
+"""Streaming == batch: the ingest path proven against the pipeline.
+
+``repro verify streaming`` runs the window-by-window incremental
+analyses (:mod:`repro.ingest.incremental`) to the end of the capture
+stream and compares every analysis's final snapshot against the payload
+the classic batch code path produces — node for node, by canonical-JSON
+digest (:mod:`repro.verify.canonical`), the same equality the golden
+baseline and the equivalence matrix reduce to.  A digest match proves
+the two paths computed *byte-identical* answers, floats included.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.inspector.timeline import days
+from repro.schema import versioned
+from repro.verify.canonical import canonicalize, digest, first_divergence
+
+#: default stream window width (mirrors
+#: ``repro.ingest.stream.DEFAULT_WINDOW_SECONDS``; re-declared here —
+#: importing :mod:`repro.ingest` at module scope would be circular,
+#: since its incremental analyses use this package's canonical digests).
+DEFAULT_WINDOW_SECONDS = days(28)
+
+
+@dataclass(frozen=True)
+class StreamingReport:
+    """Per-analysis streaming-vs-batch verdicts."""
+
+    window_seconds: int
+    windows: int
+    records: int
+    #: node name → {"streaming", "batch", "ok", "divergence"}.
+    nodes: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return all(entry["ok"] for entry in self.nodes.values())
+
+    def to_json(self):
+        return versioned({
+            "ok": self.ok,
+            "window_seconds": self.window_seconds,
+            "windows": self.windows,
+            "records": self.records,
+            "nodes": {name: dict(entry)
+                      for name, entry in sorted(self.nodes.items())},
+        })
+
+    def render(self):
+        lines = [f"streaming vs batch over {self.windows} windows "
+                 f"({self.window_seconds} s each, "
+                 f"{self.records} records):"]
+        for name, entry in sorted(self.nodes.items()):
+            mark = "ok  " if entry["ok"] else "FAIL"
+            lines.append(f"  {mark} {name:20s} "
+                         f"streaming {entry['streaming'][:12]} "
+                         f"batch {entry['batch'][:12]}")
+            if not entry["ok"] and entry.get("divergence"):
+                lines.append(f"       first divergence: "
+                             f"{entry['divergence']}")
+        lines.append("streaming == batch" if self.ok
+                     else "STREAMING CHECK FAILED")
+        return "\n".join(lines)
+
+
+def check_streaming(study, window_seconds=DEFAULT_WINDOW_SECONDS,
+                    store=None, compact_every=4):
+    """Prove the streaming final state equals the batch pipeline's.
+
+    Runs a fresh :class:`~repro.ingest.ingester.Ingester` to the end of
+    the stream (resuming from ``store`` when it holds a checkpoint —
+    resumed state must converge to the same digests) and returns a
+    :class:`StreamingReport`.
+    """
+    from repro.ingest.incremental import batch_snapshots
+    from repro.ingest.ingester import Ingester
+    ingester = Ingester(study, window_seconds=window_seconds,
+                        store=store, compact_every=compact_every).run()
+    streaming = ingester.snapshots()
+    batch = batch_snapshots(study)
+    nodes = {}
+    for name in sorted(streaming):
+        canon_stream = canonicalize(streaming[name])
+        canon_batch = canonicalize(batch[name])
+        digest_stream = digest(canon_stream)
+        digest_batch = digest(canon_batch)
+        entry = {"streaming": digest_stream, "batch": digest_batch,
+                 "ok": digest_stream == digest_batch}
+        if not entry["ok"]:
+            entry["divergence"] = str(
+                first_divergence(canon_stream, canon_batch))
+        nodes[name] = entry
+    return StreamingReport(
+        window_seconds=int(window_seconds),
+        windows=ingester.stream.window_count,
+        records=ingester.records_ingested,
+        nodes=nodes)

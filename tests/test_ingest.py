@@ -1,0 +1,202 @@
+"""Tests for the streaming ingest path (repro.ingest)."""
+
+import pytest
+
+from repro.config import StudyConfig
+from repro.ingest import (ANALYSIS_NAMES, DEFAULT_WINDOW_SECONDS,
+                          Ingester, TimelineStream, batch_snapshots,
+                          default_analyses)
+from repro.ingest.incremental import FingerprintIndex, fingerprint_id
+from repro.inspector.timeline import CAPTURE_END, CAPTURE_START, days
+from repro.store.artifact import ArtifactStore
+from repro.verify import check_streaming
+from repro.verify.canonical import canonicalize, digest
+
+from .conftest import make_record
+
+
+def snap_digest(payload):
+    return digest(canonicalize(payload))
+
+
+class TestTimelineStream:
+    def test_records_time_ordered(self, study):
+        stream = TimelineStream.from_study(study)
+        stamps = [record.timestamp for record in stream.records]
+        assert stamps == sorted(stamps)
+        assert len(stream.records) == len(study.dataset.records)
+
+    def test_windows_cover_capture_span(self, study):
+        stream = TimelineStream.from_study(study)
+        windows = list(stream.windows())
+        assert windows[0].start == CAPTURE_START
+        assert windows[-1].end == CAPTURE_END
+        for before, after in zip(windows, windows[1:]):
+            assert after.start == before.end
+            assert after.index == before.index + 1
+        assert sum(len(w) for w in windows) == len(stream.records)
+
+    def test_stream_deterministic_per_config(self, study):
+        one = TimelineStream.from_study(study)
+        two = TimelineStream.from_study(study)
+        assert [r.device_id for r in one.records] == \
+            [r.device_id for r in two.records]
+
+    def test_empty_windows_emitted(self):
+        records = [make_record(timestamp=CAPTURE_START + 10)]
+        stream = TimelineStream(records, window_seconds=days(28))
+        windows = list(stream.windows())
+        assert len(windows) == stream.window_count
+        assert len(windows[0]) == 1
+        assert all(len(w) == 0 for w in windows[1:])
+
+    def test_out_of_span_records_clamped(self):
+        records = [make_record(timestamp=CAPTURE_START - 999),
+                   make_record(timestamp=CAPTURE_END + 999)]
+        stream = TimelineStream(records)
+        windows = list(stream.windows())
+        assert len(windows[0]) == 1
+        assert len(windows[-1]) == 1
+
+    def test_resume_cursor_skips_absorbed_windows(self, study):
+        stream = TimelineStream.from_study(study)
+        tail = list(stream.windows(after=4))
+        assert tail[0].index == 5
+        assert len(tail) == stream.window_count - 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TimelineStream([], window_seconds=0)
+        with pytest.raises(ValueError):
+            TimelineStream([], start=10, end=10)
+
+
+class TestIncrementalAnalyses:
+    def test_streaming_equals_batch_node_for_node(self, study):
+        ingester = Ingester(study).run()
+        batch = batch_snapshots(study)
+        streaming = ingester.snapshots()
+        assert set(streaming) == set(ANALYSIS_NAMES)
+        for name in ANALYSIS_NAMES:
+            assert snap_digest(streaming[name]) == \
+                snap_digest(batch[name]), name
+
+    def test_window_width_does_not_change_final_state(self, study):
+        wide = Ingester(study, window_seconds=days(120)).run()
+        narrow = Ingester(study, window_seconds=days(7)).run()
+        for name in ANALYSIS_NAMES:
+            assert snap_digest(wide.snapshots()[name]) == \
+                snap_digest(narrow.snapshots()[name]), name
+
+    def test_fingerprint_index_lookup(self, study):
+        index = FingerprintIndex()
+        for record in study.dataset.records:
+            index.update(record)
+        fp = study.dataset.records[0].fingerprint()
+        entry = index.lookup(fingerprint_id(fp))
+        assert entry is not None
+        assert study.dataset.records[0].vendor in entry["vendors"]
+        assert index.lookup("no-such-id") is None
+
+    def test_merge_partitions_equals_whole(self, study):
+        stream = TimelineStream.from_study(study)
+        halves = [default_analyses(study), default_analyses(study)]
+        for window in stream.windows():
+            target = halves[0 if window.index % 2 == 0 else 1]
+            for analysis in target:
+                analysis.observe_window(window)
+        whole = Ingester(study).run()
+        for left, right, reference in zip(halves[0], halves[1],
+                                          whole.analyses):
+            left.merge(right)
+            assert snap_digest(left.snapshot()) == \
+                snap_digest(reference.snapshot()), left.name
+
+    def test_checkpoint_restore_round_trip(self, study):
+        original = Ingester(study).run()
+        for analysis, fresh in zip(original.analyses,
+                                   default_analyses(study)):
+            fresh.restore(analysis.checkpoint())
+            assert snap_digest(fresh.snapshot()) == \
+                snap_digest(analysis.snapshot()), analysis.name
+
+
+class TestIngesterResume:
+    def test_resume_after_kill_matches_uninterrupted(self, study,
+                                                     tmp_path):
+        store = ArtifactStore(tmp_path)
+        killed = Ingester(study, store=store, compact_every=4)
+        killed.run(stop_after_windows=6)
+        assert not killed.finished
+        # the simulated kill loses the windows after the last compact
+        assert killed.last_compacted == 3
+        resumed = Ingester(study, store=store, compact_every=4).run()
+        assert resumed.resumed
+        assert resumed.finished
+        uninterrupted = Ingester(study).run()
+        for name in ANALYSIS_NAMES:
+            assert snap_digest(resumed.snapshots()[name]) == \
+                snap_digest(uninterrupted.snapshots()[name]), name
+        assert resumed.records_ingested == \
+            uninterrupted.records_ingested
+
+    def test_finished_ingester_compacts_tail(self, study, tmp_path):
+        store = ArtifactStore(tmp_path)
+        ingester = Ingester(study, store=store, compact_every=4).run()
+        assert ingester.finished
+        assert ingester.last_compacted == \
+            ingester.stream.window_count - 1
+
+    def test_resume_from_finished_checkpoint_is_noop(self, study,
+                                                     tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = Ingester(study, store=store).run()
+        again = Ingester(study, store=store).run()
+        assert again.resumed and again.finished
+        for name in ANALYSIS_NAMES:
+            assert snap_digest(again.snapshots()[name]) == \
+                snap_digest(first.snapshots()[name]), name
+
+    def test_no_store_still_runs(self, study):
+        ingester = Ingester(study, store=None).run()
+        assert ingester.finished
+        assert ingester.last_compacted == -1
+
+    def test_empty_window_compaction(self, study, tmp_path):
+        """Compaction cadence holds over windows with no traffic."""
+        from repro.inspector.dataset import InspectorDataset
+        from repro.study import Study
+        sparse = Study(StudyConfig())
+        sparse._dataset = InspectorDataset(
+            [make_record(timestamp=CAPTURE_START + 5)])
+        sparse.adopt_certificates(study.certificates)
+        store = ArtifactStore(tmp_path)
+        ingester = Ingester(sparse, store=store, compact_every=2).run()
+        assert ingester.finished
+        assert ingester.records_ingested == 1
+        assert ingester.last_compacted == \
+            ingester.stream.window_count - 1
+
+    def test_status_payload(self, study):
+        status = Ingester(study).run().status()
+        assert status["finished"] is True
+        assert status["windows_ingested"] == status["windows_total"]
+        assert status["records_ingested"] == \
+            len(study.dataset.records)
+
+
+class TestVerifyStreaming:
+    def test_check_streaming_ok(self, study):
+        report = check_streaming(study)
+        assert report.ok
+        assert set(report.nodes) == set(ANALYSIS_NAMES)
+        payload = report.to_json()
+        assert payload["schema_version"] == 1
+        assert payload["ok"] is True
+        assert "streaming == batch" in report.render()
+
+    def test_check_streaming_window_equals_default(self, study):
+        assert DEFAULT_WINDOW_SECONDS == days(28)
+        report = check_streaming(study,
+                                 window_seconds=days(60))
+        assert report.ok

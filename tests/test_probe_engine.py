@@ -267,13 +267,15 @@ class TestStudyConfig:
 
     def test_get_study_memoizes_per_config(self, study):
         assert get_study(StudyConfig()) is study
-        with pytest.deprecated_call():
-            assert get_study(StudyConfig()) is get_study(seed=2023)
-        with pytest.deprecated_call():
-            assert get_study(2023) is study  # legacy positional seed
+        # The bare-seed shim finished its deprecation cycle: both
+        # legacy spellings now fail with the migration hint.
+        with pytest.raises(TypeError, match="was removed"):
+            get_study(seed=2023)
+        with pytest.raises(TypeError, match="was removed"):
+            get_study(2023)
 
     def test_config_and_seed_conflict(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(TypeError, match="was removed"):
             get_study(StudyConfig(seed=1), seed=2)
 
     def test_probe_jobs_config_changes_only_wallclock(self, study,

@@ -1,0 +1,182 @@
+"""Tests for the ``repro serve`` HTTP/JSON query API."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.ingest import Ingester, QueryService, make_server, run_load
+from repro.schema import SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def service(study):
+    return QueryService(study, Ingester(study)).warm()
+
+
+@pytest.fixture(scope="module")
+def server_url(service):
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+def get_json(url):
+    with urllib.request.urlopen(url) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEnvelopes:
+    def test_success_envelope_versioned(self, service):
+        status, payload = service.handle("/healthz")
+        assert status == 200
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["api_version"] == "v1"
+        assert payload["endpoint"] == "/healthz"
+        assert payload["data"]["status"] == "ok"
+
+    def test_error_envelope_versioned(self, service):
+        status, payload = service.handle("/no/such/route")
+        assert status == 404
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["error"]["status"] == 404
+        assert "unknown route" in payload["error"]["message"]
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        _, payload = service.handle("/healthz")
+        data = payload["data"]
+        assert data["finished"] is True
+        assert data["windows_ingested"] == data["windows_total"]
+
+    def test_metrics(self, service):
+        status, payload = service.handle("/metrics")
+        assert status == 200
+        assert "metrics" in payload["data"]
+
+    def test_doc_all_vendors(self, service, dataset):
+        _, payload = service.handle("/v1/doc")
+        doc = payload["data"]["doc_vendor"]
+        assert set(doc) == set(dataset.vendor_names())
+        assert all(0.0 <= value <= 1.0 for value in doc.values())
+
+    def test_doc_single_vendor(self, service, dataset):
+        vendor = dataset.vendor_names()[0]
+        _, payload = service.handle("/v1/doc", {"vendor": [vendor]})
+        assert payload["data"]["vendor"] == vendor
+        assert 0.0 <= payload["data"]["doc_vendor"] <= 1.0
+
+    def test_fingerprint_listing_and_lookup(self, service):
+        _, listing = service.handle("/v1/fingerprints",
+                                    {"limit": ["5"]})
+        assert len(listing["data"]["ids"]) == 5
+        fp_id = listing["data"]["ids"][0]
+        _, entry = service.handle("/v1/fingerprints", {"id": [fp_id]})
+        assert entry["data"]["id"] == fp_id
+        assert entry["data"]["vendors"]
+
+    def test_match_rate_in_paper_band(self, service):
+        _, payload = service.handle("/v1/match-rate")
+        fraction = payload["data"]["matched_fraction"]
+        assert 0.015 <= fraction <= 0.04
+
+    def test_issuers_and_vendor_column(self, service, dataset):
+        _, payload = service.handle("/v1/issuers")
+        assert 0.0 <= payload["data"]["private_leaf_share"] <= 1.0
+        vendor = sorted(payload["data"]["matrix"])[0]
+        _, column = service.handle("/v1/issuers", {"vendor": [vendor]})
+        shares = column["data"]["issuers"]
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    def test_verdict_summary_and_single_sni(self, service,
+                                            certificates):
+        _, summary = service.handle("/v1/verdicts")
+        assert summary["data"]["verdict_count"] > 0
+        sni = sorted(service.verdicts)[0]
+        _, verdict = service.handle("/v1/verdicts", {"sni": [sni]})
+        assert verdict["data"]["sni"] == sni
+        assert "status" in verdict["data"]
+        assert "issuer" in verdict["data"]
+
+
+class TestErrorHandling:
+    def test_unknown_route_404(self, service):
+        status, payload = service.handle("/v2/doc")
+        assert status == 404
+
+    def test_unknown_vendor_404(self, service):
+        status, payload = service.handle(
+            "/v1/doc", {"vendor": ["NoSuchVendor"]})
+        assert status == 404
+        assert "NoSuchVendor" in payload["error"]["message"]
+
+    def test_unknown_sni_404(self, service):
+        status, _ = service.handle("/v1/verdicts",
+                                   {"sni": ["no.such.host"]})
+        assert status == 404
+
+    def test_unknown_fingerprint_404(self, service):
+        status, _ = service.handle("/v1/fingerprints",
+                                   {"id": ["ffffffffffffffff"]})
+        assert status == 404
+
+    def test_malformed_limit_400(self, service):
+        status, payload = service.handle("/v1/fingerprints",
+                                         {"limit": ["abc"]})
+        assert status == 400
+        assert "integer" in payload["error"]["message"]
+        status, _ = service.handle("/v1/fingerprints",
+                                   {"limit": ["-3"]})
+        assert status == 400
+
+    def test_unknown_parameter_400(self, service):
+        status, payload = service.handle("/v1/doc", {"bogus": ["1"]})
+        assert status == 400
+        assert "bogus" in payload["error"]["message"]
+
+    def test_empty_parameter_400(self, service):
+        status, _ = service.handle("/v1/doc", {"vendor": [""]})
+        assert status == 400
+
+    def test_repeated_parameter_400(self, service):
+        status, _ = service.handle("/v1/doc",
+                                   {"vendor": ["Acme", "Bolt"]})
+        assert status == 400
+
+
+class TestHttpTransport:
+    def test_endpoints_over_http(self, server_url):
+        for path in ("/healthz", "/metrics", "/v1/doc",
+                     "/v1/fingerprints?limit=3", "/v1/match-rate",
+                     "/v1/issuers", "/v1/verdicts"):
+            status, payload = get_json(server_url + path)
+            assert status == 200
+            assert payload["schema_version"] == SCHEMA_VERSION
+            assert "data" in payload
+
+    def test_404_json_over_http(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server_url + "/nope")
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["status"] == 404
+
+    def test_400_json_over_http(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                server_url + "/v1/fingerprints?limit=zzz")
+        assert excinfo.value.code == 400
+
+    def test_load_generator(self, server_url):
+        result = run_load(server_url, requests_per_worker=10,
+                          workers=2)
+        summary = result.to_json()
+        assert summary["requests"] == 20
+        assert summary["errors"] == 0
+        assert summary["p99_ms"] >= summary["p50_ms"]

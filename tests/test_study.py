@@ -8,15 +8,10 @@ from repro.study import DEFAULT_SEED, Study, get_study
 class TestMemoization:
     def test_get_study_cached(self):
         assert get_study() is get_study()
-        # The legacy bare-seed spelling still works but is deprecated.
-        with pytest.deprecated_call():
-            legacy = get_study(DEFAULT_SEED)
-        assert legacy is get_study()
-        assert legacy.seed == get_study().seed
 
     def test_lazy_construction(self):
-        with pytest.deprecated_call():
-            fresh = Study(seed=12345)
+        from repro.study import StudyConfig
+        fresh = Study(StudyConfig(seed=12345))
         assert fresh._world is None
         assert fresh._certificates is None
 
@@ -27,25 +22,29 @@ class TestMemoization:
         assert not [w for w in recwarn.list
                     if issubclass(w.category, DeprecationWarning)]
 
-    def test_get_study_seed_keyword_deprecation_message(self):
-        with pytest.warns(DeprecationWarning,
-                          match=r"get_study\(seed=\.\.\.\) is "
-                                r"deprecated.*StudyConfig"):
-            legacy = get_study(seed=DEFAULT_SEED)
-        assert legacy is get_study()
+    def test_bare_seed_positional_raises(self):
+        with pytest.raises(TypeError,
+                           match=r"get_study\(2023\) was removed.*"
+                                 r"StudyConfig\(seed=2023\)"):
+            get_study(DEFAULT_SEED)
 
-    def test_study_seed_keyword_deprecation_message(self):
-        with pytest.warns(DeprecationWarning,
-                          match=r"Study\(seed=\.\.\.\) is "
-                                r"deprecated.*StudyConfig"):
-            legacy = Study(seed=4242)
-        assert legacy.seed == 4242
+    def test_get_study_seed_keyword_raises(self):
+        with pytest.raises(TypeError,
+                           match=r"get_study\(seed=2023\) was "
+                                 r"removed.*StudyConfig\(seed=2023\)"):
+            get_study(seed=DEFAULT_SEED)
 
-    def test_config_and_conflicting_seed_rejected(self):
+    def test_study_seed_keyword_raises(self):
+        with pytest.raises(TypeError,
+                           match=r"Study\(seed=4242\) was "
+                                 r"removed.*StudyConfig\(seed=4242\)"):
+            Study(seed=4242)
+
+    def test_config_plus_seed_rejected(self):
         from repro.study import StudyConfig
-        with pytest.raises(ValueError, match="not both"):
+        with pytest.raises(TypeError, match="was removed"):
             Study(StudyConfig(seed=1), seed=2)
-        with pytest.raises(ValueError, match="not both"):
+        with pytest.raises(TypeError, match="was removed"):
             get_study(StudyConfig(seed=1), seed=2)
 
     def test_world_built_once(self, study):

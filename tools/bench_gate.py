@@ -55,6 +55,12 @@ BENCHES = {
         "metric": "speedup",
         "kind": "ratio",
     },
+    "serve": {
+        "script": "benchmarks/bench_serve.py",
+        "baseline": "BENCH_serve.json",
+        "metric": "records_per_sec",
+        "kind": "ratio",
+    },
 }
 
 
@@ -109,7 +115,7 @@ def main(argv=None):
     parser.add_argument("--bench", action="append", dest="benches",
                         choices=sorted(BENCHES), default=None,
                         help="gate only these benchmarks (repeatable; "
-                             "default: probe, store, obs)")
+                             "default: probe, store, obs, serve)")
     parser.add_argument("--tolerance", type=float, default=0.3,
                         help="allowed fractional regression for ratio "
                              "metrics (default %(default)s)")
@@ -122,7 +128,12 @@ def main(argv=None):
                              "(default %(default)s)")
     args = parser.parse_args(argv)
 
-    names = args.benches or ["probe", "store", "obs"]
+    # serve's headline is an absolute throughput (machine-dependent,
+    # unlike the self-relative speedup ratios), so it defaults to a
+    # looser floor; --override serve=... still wins.
+    names = args.benches or ["probe", "store", "obs", "serve"]
+    args.override = [f"serve={max(0.7, args.tolerance)}"] \
+        + args.override
     overrides = parse_overrides(args.override)
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
