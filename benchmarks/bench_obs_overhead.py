@@ -17,6 +17,15 @@ repetitions cannot masquerade as instrumentation cost.  The run fails
 ``--max-overhead`` (default 5%) over the baseline — the contract that
 lets every later perf PR leave tracing on for its before/after story.
 
+The same budget gates the *service* telemetry plane: one full request
+middleware cycle (in-flight gauge up, latency histogram + status-class
+counters + SLO samples + flight-recorder event, gauge down) is timed
+over ``--requests`` iterations and must cost less than
+``--max-overhead`` percent of the committed ``BENCH_serve.json`` query
+p50 — i.e. instrumenting a request must stay invisible next to serving
+it.  ``within_budget`` (the CI gate metric) is true only when both
+budgets hold.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py \
@@ -34,6 +43,43 @@ from repro import obs
 from repro.config import StudyConfig
 from repro.core.pipeline import run_full_study
 from repro.study import Study
+
+
+#: fallback request-telemetry budget when no serve baseline exists (µs).
+DEFAULT_REQUEST_BUDGET_US = 150.0
+
+
+def _request_budget_us(max_overhead_pct):
+    """``max_overhead_pct`` of the committed serve query p50, in µs."""
+    baseline = pathlib.Path(__file__).resolve().parent.parent \
+        / "BENCH_serve.json"
+    try:
+        p50_ms = json.loads(
+            baseline.read_text(encoding="utf-8"))["query_p50_ms"]
+    except (OSError, ValueError, KeyError):
+        return DEFAULT_REQUEST_BUDGET_US
+    return p50_ms * 1000.0 * (max_overhead_pct / 100.0)
+
+
+def _time_request_middleware(requests, repeat=3):
+    """Best-of-``repeat`` cost of one full middleware cycle, in µs.
+
+    Measures exactly what :meth:`QueryService.handle_request` adds on
+    top of routing: ``request_started`` + ``request_finished`` (gauge
+    up/down, latency histogram, status-class counters, SLO samples,
+    flight-recorder event) under a live registry.
+    """
+    from repro.obs.telemetry import ServiceTelemetry
+    best = float("inf")
+    with obs.enabled():
+        telemetry = ServiceTelemetry()
+        for _ in range(repeat):
+            started = time.perf_counter()
+            for _ in range(requests):
+                t0 = telemetry.request_started()
+                telemetry.request_finished("/v1/doc", 200, t0)
+            best = min(best, time.perf_counter() - started)
+    return best / requests * 1e6
 
 
 def _interleaved_best(repeat, modes):
@@ -56,6 +102,9 @@ def main(argv=None):
                              "(default %(default)s)")
     parser.add_argument("--max-overhead", type=float, default=5.0,
                         help="maximum tolerated overhead in percent "
+                             "(default %(default)s)")
+    parser.add_argument("--requests", type=int, default=20000,
+                        help="request-middleware timing iterations "
                              "(default %(default)s)")
     parser.add_argument("-o", "--output", default="BENCH_obs.json")
     args = parser.parse_args(argv)
@@ -94,8 +143,18 @@ def main(argv=None):
     print(f"  jsonl sink {jsonl_sink:6.3f}s  "
           f"({(jsonl_sink / disabled - 1) * 100:+.2f}%)")
 
+    print(f"timing request middleware, best of 3 x "
+          f"{args.requests} requests...")
+    request_us = _time_request_middleware(args.requests)
+    request_budget_us = _request_budget_us(args.max_overhead)
+    request_ok = request_us < request_budget_us
+    print(f"  request telemetry {request_us:8.2f}us/request "
+          f"(budget {request_budget_us:.0f}us = "
+          f"{args.max_overhead:g}% of serve query p50)")
+
     overhead_pct = (jsonl_sink / disabled - 1) * 100
-    ok = overhead_pct < args.max_overhead
+    trace_ok = overhead_pct < args.max_overhead
+    ok = trace_ok and request_ok
     payload = {
         "seed": args.seed,
         "repeat": args.repeat,
@@ -107,15 +166,21 @@ def main(argv=None):
             (null_sink / disabled - 1) * 100, 2),
         "jsonl_sink_overhead_pct": round(overhead_pct, 2),
         "max_overhead_pct": args.max_overhead,
+        "request_telemetry_us": round(request_us, 2),
+        "request_budget_us": round(request_budget_us, 2),
+        "request_within_budget": request_ok,
         "within_budget": ok,
     }
     path = pathlib.Path(args.output)
     path.write_text(json.dumps(payload, indent=2) + "\n",
                     encoding="utf-8")
     print(f"wrote {path}")
-    if not ok:
+    if not trace_ok:
         print(f"FAIL: {overhead_pct:.2f}% overhead exceeds "
               f"{args.max_overhead}% budget", file=sys.stderr)
+    if not request_ok:
+        print(f"FAIL: {request_us:.2f}us request telemetry exceeds "
+              f"{request_budget_us:.0f}us budget", file=sys.stderr)
     return 0 if ok else 1
 
 

@@ -16,11 +16,19 @@ Commands:
   store;
 - ``serve``     stream-ingest the capture through the incremental
   analyses and answer the paper's hot queries over a stdlib HTTP/JSON
-  API (``/healthz``, ``/metrics``, ``/v1/doc``, ``/v1/fingerprints``,
-  ``/v1/match-rate``, ``/v1/issuers``, ``/v1/verdicts``); with a cache
-  directory the ingester resumes from its last compacted checkpoint;
-  ``--smoke`` runs the built-in load mix against the warm server and
-  exits (the CI smoke job);
+  API (``/healthz`` with per-objective SLO state, ``/metrics`` in JSON
+  or Prometheus exposition text via ``?format=prom``, ``/v1/slo``,
+  ``/v1/debug/recent`` — the flight recorder, ``/v1/doc``,
+  ``/v1/fingerprints``, ``/v1/match-rate``, ``/v1/issuers``,
+  ``/v1/verdicts``); with a cache directory the ingester resumes from
+  its last compacted checkpoint; ``--smoke`` runs the built-in load
+  mix against the warm server and exits (the CI smoke job);
+- ``obs``       inspect a *running* server over HTTP: ``top`` (live
+  polling view of health, SLO verdicts, and key metrics), ``export``
+  (scrape ``/metrics`` once, write the JSON snapshot or Prometheus
+  text), ``diff`` (compare two exported snapshots and flag
+  regressions — error counters that grew, lag gauges that rose,
+  latency histograms that shifted slow);
 - ``verify``    differential conformance: ``record``/``check`` golden
   baselines, run the execution-mode equivalence ``matrix``, evaluate
   the paper ``invariants``, prove ``streaming`` == batch;
@@ -553,6 +561,73 @@ def cmd_trace_summary(args):
     return 0
 
 
+def cmd_obs_top(args):
+    from repro.obs.scrape import ScrapeError, render_top, scrape
+    previous = None
+    frame = 0
+    try:
+        while True:
+            frame += 1
+            healthz = scrape(args.url, "/healthz")["data"]
+            slo = scrape(args.url, "/v1/slo")["data"]
+            metrics = scrape(args.url, "/metrics")["data"]
+            print(render_top(
+                healthz, slo, metrics, previous=previous,
+                interval=args.interval if previous is not None
+                else None))
+            previous = metrics.get("metrics", metrics)
+            if args.count and frame >= args.count:
+                break
+            print("")
+            time.sleep(args.interval)
+    except ScrapeError as exc:
+        print(f"obs top: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_obs_export(args):
+    from repro.obs.scrape import ScrapeError, scrape
+    try:
+        if args.format == "prom":
+            text = scrape(args.url, "/metrics?format=prom",
+                          as_text=True)
+        else:
+            payload = scrape(args.url, "/metrics")
+            text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    except ScrapeError as exc:
+        print(f"obs export: {exc}", file=sys.stderr)
+        return 2
+    if args.output == "-":
+        print(text, end="")
+        return 0
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {args.format} metrics snapshot to {args.output}")
+    return 0
+
+
+def cmd_obs_diff(args):
+    from repro.obs.scrape import (ScrapeError, diff_snapshots,
+                                  load_export, render_diff)
+    try:
+        before = load_export(args.before)
+        after = load_export(args.after)
+    except ScrapeError as exc:
+        print(f"obs diff: {exc}", file=sys.stderr)
+        return 2
+    report = diff_snapshots(before, after, tolerance=args.tolerance)
+    print(render_diff(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote diff report to {args.json}")
+    return 0 if report["ok"] else 1
+
+
 def _add_study_command(sub, name, help_text, func):
     parser = sub.add_parser(name, help=help_text)
     _add_config(parser)
@@ -761,6 +836,50 @@ def build_parser():
     p_trace.add_argument("--top", type=int, default=15,
                          help="span names to show (default %(default)s)")
     p_trace.set_defaults(func=cmd_trace_summary)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect a running repro serve over HTTP: live "
+                    "top view, snapshot export, snapshot diff")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    default_url = "http://127.0.0.1:8437"
+    p_otop = obs_sub.add_parser(
+        "top", help="poll a server's health, SLO verdicts, and key "
+                    "metrics (ctrl-C to stop)")
+    p_otop.add_argument("url", nargs="?", default=default_url,
+                        help="server base URL (default %(default)s)")
+    p_otop.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between polls "
+                             "(default %(default)s)")
+    p_otop.add_argument("--count", type=int, default=0,
+                        help="frames to render; 0 polls until "
+                             "interrupted (default %(default)s)")
+    p_otop.set_defaults(func=cmd_obs_top)
+    p_oexport = obs_sub.add_parser(
+        "export", help="scrape /metrics once, write the snapshot")
+    p_oexport.add_argument("url", nargs="?", default=default_url,
+                           help="server base URL (default %(default)s)")
+    p_oexport.add_argument("-o", "--output",
+                           default="metrics_snapshot.json",
+                           help="output path, or '-' for stdout "
+                                "(default %(default)s)")
+    p_oexport.add_argument("--format", choices=("json", "prom"),
+                           default="json",
+                           help="JSON snapshot or Prometheus "
+                                "exposition text (default %(default)s)")
+    p_oexport.set_defaults(func=cmd_obs_export)
+    p_odiff = obs_sub.add_parser(
+        "diff", help="compare two exported JSON snapshots and flag "
+                     "regressions (exit 1 when any)")
+    p_odiff.add_argument("before", help="earlier obs export file")
+    p_odiff.add_argument("after", help="later obs export file")
+    p_odiff.add_argument("--tolerance", type=float, default=0.05,
+                         help="allowed growth of a latency "
+                              "histogram's slow share "
+                              "(default %(default)s)")
+    p_odiff.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the structured diff report "
+                              "as JSON to PATH")
+    p_odiff.set_defaults(func=cmd_obs_diff)
     return parser
 
 
@@ -801,7 +920,7 @@ def _run_observed(args):
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("trace-summary", "cache"):
+    if args.command in ("trace-summary", "cache", "obs"):
         return args.func(args)
     return _run_observed(args)
 

@@ -16,8 +16,8 @@ from repro.ingest.incremental import (ANALYSIS_NAMES, batch_snapshots,
                                       default_analyses, fingerprint_id)
 from repro.ingest.ingester import CHECKPOINT_STAGE, Ingester
 from repro.ingest.loadgen import run_load
-from repro.ingest.server import (API_VERSION, QueryService, make_server,
-                                 serve_study)
+from repro.ingest.server import (API_VERSION, PlainText, QueryService,
+                                 make_server, serve_study)
 from repro.ingest.stream import (DEFAULT_WINDOW_SECONDS, TimelineStream,
                                  Window)
 
@@ -27,6 +27,7 @@ __all__ = [
     "CHECKPOINT_STAGE",
     "DEFAULT_WINDOW_SECONDS",
     "Ingester",
+    "PlainText",
     "QueryService",
     "TimelineStream",
     "Window",

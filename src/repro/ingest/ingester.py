@@ -13,9 +13,14 @@ replayed, which is exactly what makes the final state reproducible
 across kills (proven by ``repro verify streaming``).
 
 Observability: ``ingest.records`` / ``ingest.windows`` /
-``ingest.compactions`` counters and an ``ingest.window`` span per
-window, all through :mod:`repro.obs` (no-ops unless a context is
-active).
+``ingest.compactions`` counters, an ``ingest.window`` span per window,
+and three live lag gauges — ``ingest.lag_windows`` (windows not yet
+absorbed), ``ingest.last_checkpoint_age`` (windows absorbed since the
+last compaction, i.e. the work a kill right now would lose), and
+``ingest.records_behind`` (records not yet absorbed) — all through
+:mod:`repro.obs` (no-ops unless a context is active).  The gauges are
+refreshed at construction, on every window, on every compaction, and on
+resume, so a scrape of ``/metrics`` always sees the current lag.
 """
 
 from repro import obs
@@ -59,6 +64,16 @@ class Ingester:
         self.last_compacted = -1
         self.records_ingested = 0
         self.resumed = False
+        self._update_lag_gauges()
+
+    def _update_lag_gauges(self):
+        """Refresh the ingest lag gauges from the stream cursor."""
+        obs.gauge("ingest.lag_windows",
+                  self.stream.window_count - (self.last_window + 1))
+        obs.gauge("ingest.last_checkpoint_age",
+                  self.last_window - self.last_compacted)
+        obs.gauge("ingest.records_behind",
+                  len(self.stream.records) - self.records_ingested)
 
     # -- checkpointing --------------------------------------------------------
 
@@ -83,6 +98,7 @@ class Ingester:
         self.records_ingested = state["records_ingested"]
         self.resumed = True
         obs.incr("ingest.resumes")
+        self._update_lag_gauges()
         return self.last_window
 
     def compact(self):
@@ -98,6 +114,7 @@ class Ingester:
         path = self.store.put(self.config, CHECKPOINT_STAGE, state)
         self.last_compacted = self.last_window
         obs.incr("ingest.compactions")
+        self._update_lag_gauges()
         return path
 
     # -- ingestion ------------------------------------------------------------
@@ -112,6 +129,7 @@ class Ingester:
             span.incr("records", len(window))
         obs.incr("ingest.windows")
         obs.incr("ingest.records", n=len(window))
+        self._update_lag_gauges()
 
     def run(self, resume=True, stop_after_windows=None):
         """Ingest the stream (from the last checkpoint when resuming).

@@ -16,16 +16,31 @@ Every response — success or error — is a versioned envelope::
 
 Endpoints:
 
-- ``GET /healthz`` — liveness + ingest progress;
-- ``GET /metrics`` — the active :mod:`repro.obs` registry snapshot;
+- ``GET /healthz`` — liveness + ingest progress + per-objective SLO
+  state (``ok`` / ``degraded`` / ``failing``);
+- ``GET /metrics[?format=json|prom]`` — the active :mod:`repro.obs`
+  registry snapshot; ``format=prom`` (or an ``Accept: text/plain``
+  header) returns Prometheus exposition text instead of JSON;
+- ``GET /v1/slo`` — every SLO objective's verdict over its sliding
+  window;
+- ``GET /v1/debug/recent[?limit=]`` — the flight recorder's ring of
+  recent request/ingest events;
 - ``GET /v1/doc[?vendor=]`` — per-vendor DoC (Figure 2);
 - ``GET /v1/fingerprints[?id=|limit=]`` — the live fingerprint index;
 - ``GET /v1/match-rate`` — the Section 4.1 corpus match rate;
 - ``GET /v1/issuers[?vendor=]`` — issuer shares / one Figure 5 column;
 - ``GET /v1/verdicts[?sni=]`` — per-SNI certificate validation verdicts.
+
+Request middleware: every request that flows through
+:meth:`QueryService.handle_request` (the HTTP path) is folded into the
+telemetry plane — a per-endpoint latency histogram, status-class
+counters, an in-flight gauge, SLO latency/error samples, and a flight-
+recorder event.  Under an injected clock the whole plane is
+deterministic; see :mod:`repro.obs.telemetry`.
 """
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -33,6 +48,7 @@ from repro import obs
 from repro.core.chains import validate_all
 from repro.core.issuers import leaf_issuer_org
 from repro.inspector.timeline import PROBE_TIME
+from repro.obs.telemetry import ServiceTelemetry, render_prometheus
 from repro.schema import versioned
 
 #: the query API version every ``/v1/...`` route speaks.
@@ -60,12 +76,39 @@ class QueryError(Exception):
         self.message = message
 
 
+class PlainText:
+    """A non-JSON response body (the Prometheus exposition page)."""
+
+    #: the content type Prometheus scrapers expect.
+    PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self, text, content_type=PROMETHEUS):
+        self.text = text
+        self.content_type = content_type
+
+
+def wants_prometheus(accept):
+    """Whether an ``Accept`` header asks for exposition text.
+
+    ``text/plain`` anywhere in the header wins unless JSON is also
+    explicitly listed (then the JSON default stands) — ``*/*`` alone
+    keeps the JSON default, so browsers and ``urllib`` see JSON and
+    ``curl -H 'Accept: text/plain'`` (a scraper) sees exposition text.
+    """
+    if not accept:
+        return False
+    return "text/plain" in accept and "application/json" not in accept
+
+
 class QueryService:
     """Warm query state + routing for the HTTP API."""
 
-    def __init__(self, study, ingester):
+    def __init__(self, study, ingester, clock=time.perf_counter,
+                 telemetry=None):
         self.study = study
         self.ingester = ingester
+        self.telemetry = telemetry if telemetry is not None \
+            else ServiceTelemetry(clock=clock)
         self._snapshots = None
         self._verdicts = None
 
@@ -120,23 +163,34 @@ class QueryService:
 
     # -- routing --------------------------------------------------------------
 
-    def handle(self, path, params=None):
-        """Answer one request; returns ``(status, payload)``.
-
-        ``params`` is a ``{name: [values]}`` query mapping (as produced
-        by ``urllib.parse.parse_qs``).
-        """
-        params = params or {}
-        routes = {
+    def routes(self):
+        """``path -> endpoint handler`` (the routable surface)."""
+        return {
             "/healthz": self._healthz,
             "/metrics": self._metrics,
+            "/v1/slo": self._slo,
+            "/v1/debug/recent": self._debug_recent,
             "/v1/doc": self._doc,
             "/v1/fingerprints": self._fingerprints,
             "/v1/match-rate": self._match_rate,
             "/v1/issuers": self._issuers,
             "/v1/verdicts": self._verdicts_route,
         }
-        handler = routes.get(path)
+
+    def handle(self, path, params=None, accept=None):
+        """Answer one request; returns ``(status, payload)``.
+
+        ``params`` is a ``{name: [values]}`` query mapping (as produced
+        by ``urllib.parse.parse_qs``); ``payload`` is a JSON envelope
+        dict, or a :class:`PlainText` for non-JSON bodies (the
+        Prometheus page).  ``accept`` is the request's ``Accept``
+        header, used only for ``/metrics`` content negotiation.
+        """
+        params = params or {}
+        if path == "/metrics" and "format" not in params \
+                and wants_prometheus(accept):
+            params = dict(params, format=["prom"])
+        handler = self.routes().get(path)
         if handler is None:
             obs.incr("serve.errors", key="404")
             return 404, error_envelope(404, f"unknown route {path!r}")
@@ -152,7 +206,33 @@ class QueryService:
             obs.incr("serve.errors", key=str(exc.status))
             return exc.status, error_envelope(exc.status, exc.message)
         obs.incr("serve.requests", key=path)
+        if isinstance(data, PlainText):
+            return 200, data
         return 200, envelope(path, data)
+
+    def handle_request(self, path, params=None, accept=None):
+        """The instrumented HTTP entry: handle + request middleware.
+
+        Returns ``(status, body_bytes, content_type)``.  Every request
+        through here — and only here; bare :meth:`handle` stays a pure
+        routing function for unit tests — updates the in-flight gauge,
+        the per-endpoint latency histogram, status-class counters, SLO
+        samples, and the flight recorder.
+        """
+        started = self.telemetry.request_started()
+        status = 500
+        try:
+            status, payload = self.handle(path, params, accept=accept)
+        finally:
+            # Unknown paths share one "unknown" route label so a URL
+            # scanner cannot grow the metric namespace unboundedly.
+            route = path if path in self.routes() else "unknown"
+            self.telemetry.request_finished(route, status, started)
+        if isinstance(payload, PlainText):
+            return status, payload.text.encode("utf-8"), \
+                payload.content_type
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return status, body, "application/json"
 
     @staticmethod
     def _param(params, name):
@@ -172,15 +252,50 @@ class QueryService:
 
     def _healthz(self, params):
         status = self.ingester.status()
-        status["status"] = "ok" if status["finished"] else "ingesting"
+        self.telemetry.update_ingest(self.ingester)
+        slo = self.telemetry.slo.summary()
+        status["slo"] = slo
+        # Liveness folds in the SLO verdict: a reachable server that is
+        # blowing its objectives reports degraded/failing, not ok.
+        status["status"] = slo["status"] if status["finished"] \
+            else "ingesting"
         return status
     _healthz.params = ()
 
     def _metrics(self, params):
+        fmt = self._param(params, "format") or "json"
+        if fmt not in ("json", "prom"):
+            raise QueryError(400, f"unknown metrics format {fmt!r} "
+                                  f"(expected json or prom)")
         ctx = obs.current()
         snapshot = ctx.metrics.snapshot() if ctx.enabled else {}
+        if fmt == "prom":
+            return PlainText(render_prometheus(snapshot))
         return {"enabled": ctx.enabled, "metrics": snapshot}
-    _metrics.params = ()
+    _metrics.params = ("format",)
+
+    def _slo(self, params):
+        self.telemetry.update_ingest(self.ingester)
+        return self.telemetry.slo.evaluate()
+    _slo.params = ()
+
+    def _debug_recent(self, params):
+        recorder = self.telemetry.recorder
+        limit = self._param(params, "limit")
+        events = recorder.snapshot()
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except ValueError:
+                raise QueryError(400, f"limit must be an integer, "
+                                      f"got {limit!r}") from None
+            if limit < 0:
+                raise QueryError(400, "limit must be >= 0")
+            events = events[-limit:] if limit else []
+        return {"capacity": recorder.capacity,
+                "events_seen": recorder.events_seen,
+                "events": events}
+    _debug_recent.params = ("limit",)
 
     def _doc(self, params):
         snapshot = self.snapshots["doc"]
@@ -261,12 +376,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self):  # noqa: N802 (http.server API)
         parsed = urlparse(self.path)
-        status, payload = self.service.handle(
-            parsed.path, parse_qs(parsed.query,
-                                  keep_blank_values=True))
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        status, body, content_type = self.service.handle_request(
+            parsed.path,
+            parse_qs(parsed.query, keep_blank_values=True),
+            accept=self.headers.get("Accept"))
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -282,17 +397,24 @@ def make_server(service, host="127.0.0.1", port=0):
 
 
 def serve_study(study, host="127.0.0.1", port=0, window_seconds=None,
-                store=None, compact_every=4):
+                store=None, compact_every=4, clock=time.perf_counter):
     """Warm a query service over ``study`` and bind an HTTP server.
 
     Returns ``(server, service)``; the caller owns
     ``server.serve_forever()`` / ``server.shutdown()``.
+
+    Boot activates an enabled observability context if none is active,
+    so ``/metrics`` always has a live registry behind it — a server
+    embedded by library code (no CLI wrapper) must never answer its
+    scrape endpoint with an empty snapshot.
     """
     from repro.ingest.ingester import Ingester
     from repro.ingest.stream import DEFAULT_WINDOW_SECONDS
+    obs.ensure_enabled()
     ingester = Ingester(
         study,
         window_seconds=window_seconds or DEFAULT_WINDOW_SECONDS,
         store=store, compact_every=compact_every)
-    service = QueryService(study, ingester).warm()
+    service = QueryService(study, ingester, clock=clock).warm()
+    service.telemetry.update_ingest(ingester)
     return make_server(service, host=host, port=port), service

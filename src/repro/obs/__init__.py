@@ -39,14 +39,18 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.recorder import FlightRecorder, TeeSink
 from repro.obs.sink import JsonlSink, NullSink
+from repro.obs.slo import SloObjective, SloTracker
 from repro.obs.tracer import NULL_SPAN, Span, Stopwatch, Tracer
 
 __all__ = [
-    "Counter", "CounterFamily", "Gauge", "Histogram", "JsonlSink",
-    "MetricsRegistry", "NullSink", "Observability", "Span", "Stopwatch",
-    "Tracer", "activate", "active_registry", "current", "deactivate",
-    "enabled", "gauge", "incr", "span",
+    "Counter", "CounterFamily", "FlightRecorder", "Gauge", "Histogram",
+    "JsonlSink", "MetricsRegistry", "NullSink", "Observability",
+    "ServiceTelemetry", "SloObjective", "SloTracker", "Span",
+    "Stopwatch", "TeeSink", "Tracer", "activate", "active_registry",
+    "current", "deactivate", "enabled", "ensure_enabled", "gauge",
+    "incr", "parse_prometheus", "render_prometheus", "span",
 ]
 
 
@@ -155,3 +159,24 @@ def active_registry():
     join the shared one when it is on.
     """
     return _active.metrics
+
+
+def ensure_enabled(clock=time.perf_counter, sink=None):
+    """Activate a fresh enabled context iff the active one is disabled.
+
+    Returns the active (now guaranteed enabled) context.  Long-running
+    services (``repro serve``) call this at boot so ``/metrics`` is
+    never silently empty; an already-active context — e.g. the one the
+    CLI installs around every command — is left in place untouched.
+    """
+    if not _active.enabled:
+        activate(Observability(clock=clock, sink=sink))
+    return _active
+
+
+# Imported last: telemetry builds on the context helpers above.
+from repro.obs.telemetry import (  # noqa: E402
+    ServiceTelemetry,
+    parse_prometheus,
+    render_prometheus,
+)

@@ -51,6 +51,11 @@ class Gauge:
         with self._lock:
             self._value = value
 
+    def add(self, delta):
+        """Move the gauge by ``delta`` (in-flight style up/down counts)."""
+        with self._lock:
+            self._value += delta
+
     @property
     def value(self):
         return self._value

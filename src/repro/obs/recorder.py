@@ -1,0 +1,89 @@
+"""Flight recorder: a bounded ring buffer of recent telemetry events.
+
+Long-running services need a way to answer "what just happened?"
+without killing the process or replaying a multi-gigabyte trace.  A
+:class:`FlightRecorder` keeps the last ``capacity`` events (spans,
+requests, ingest ticks) in a deterministic-capacity ring buffer — old
+events fall off the far end, memory stays bounded no matter how long
+the server runs — and can render them as a JSON list
+(``GET /v1/debug/recent``) or dump them to JSONL for offline
+``repro trace-summary`` analysis.
+
+The recorder speaks the sink protocol (``emit`` / ``close``), so it can
+sit directly behind a :class:`~repro.obs.tracer.Tracer`; :class:`TeeSink`
+fans one event stream out to several sinks (e.g. a JSONL file *and* the
+recorder) so enabling the flight recorder never costs the trace file.
+"""
+
+import json
+import threading
+from collections import deque
+
+
+class FlightRecorder:
+    """Last-``capacity`` telemetry events, oldest evicted first."""
+
+    def __init__(self, capacity=256):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events = deque(maxlen=capacity)
+        self._seq = 0
+
+    def record(self, event):
+        """Append one event dict (stamped with a monotonic ``seq``)."""
+        with self._lock:
+            stamped = dict(event)
+            stamped["seq"] = self._seq
+            self._seq += 1
+            self._events.append(stamped)
+        return stamped
+
+    # -- sink protocol (so a tracer can stream spans straight in) -------------
+
+    def emit(self, event):
+        self.record(event)
+
+    def close(self):
+        pass
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def events_seen(self):
+        """Total events ever recorded (>= len when the ring wrapped)."""
+        with self._lock:
+            return self._seq
+
+    def snapshot(self):
+        """The buffered events, oldest first (copies, JSON-ready)."""
+        with self._lock:
+            return [dict(event) for event in self._events]
+
+    def dump_jsonl(self, path):
+        """Write the buffered events as JSONL; returns the path."""
+        events = self.snapshot()
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return path
+
+
+class TeeSink:
+    """Fan one event stream out to several sinks."""
+
+    def __init__(self, *sinks):
+        self.sinks = tuple(sinks)
+
+    def emit(self, event):
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self):
+        for sink in self.sinks:
+            sink.close()

@@ -47,11 +47,27 @@ class JsonlSink:
 
 
 def read_events(path):
-    """Load a JSONL event file back into a list of dicts."""
+    """Load a JSONL event file back into a list of dicts.
+
+    Raises ``ValueError`` naming the file and line on corrupt JSONL
+    (and on lines that are not JSON objects), so CLI consumers can show
+    a one-line diagnosis instead of a traceback.
+    """
     events = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, 1):
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: corrupt JSONL "
+                    f"({exc.msg})") from None
+            if not isinstance(event, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a JSON object, "
+                    f"got {type(event).__name__}")
+            events.append(event)
     return events

@@ -92,5 +92,13 @@ def render_summary(events, top=15, source="trace"):
 
 
 def summarize_file(path, top=15):
-    """Load ``path`` and render it (the CLI entry point)."""
-    return render_summary(read_events(path), top=top, source=str(path))
+    """Load ``path`` and render it (the CLI entry point).
+
+    Returns the rendered summary; raises ``OSError`` on an unreadable
+    path and ``ValueError`` on empty or corrupt trace files — the CLI
+    turns both into a one-line error and exit code 2.
+    """
+    events = read_events(path)
+    if not events:
+        raise ValueError(f"{path}: empty trace file (no events)")
+    return render_summary(events, top=top, source=str(path))

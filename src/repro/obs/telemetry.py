@@ -1,0 +1,313 @@
+"""Service telemetry plane: Prometheus exposition + request middleware.
+
+This module turns the deterministic :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot into operational telemetry a scrape-based monitoring stack can
+consume, and gives ``repro serve`` the per-request instrumentation a
+long-running service needs:
+
+- :func:`render_prometheus` — the registry snapshot as Prometheus text
+  exposition (version 0.0.4): counters map to ``_total`` counters,
+  gauges to gauges, counter families to labeled counters, and
+  histograms whose bucket labels encode ``le`` bounds (see
+  :data:`LATENCY_BUCKETS_MS`) to canonical cumulative histograms;
+- :func:`parse_prometheus` — a strict parser for the same format, used
+  by tests and the CI smoke job to prove the exposition is valid;
+- :class:`ServiceTelemetry` — the request/ingest middleware state one
+  server owns: per-endpoint latency histograms, status-class counters,
+  SLO samples (:class:`~repro.obs.slo.SloTracker`), and the
+  :class:`~repro.obs.recorder.FlightRecorder` behind
+  ``GET /v1/debug/recent``.
+
+Determinism: every metric here flows through the same registry contract
+as the pipeline's — under an injected clock (``ServiceTelemetry(clock=
+fake)``) request latencies, SLO verdicts, and recorder events are a
+pure function of the request sequence, which is what keeps service
+snapshots conformance-testable.  Observation *sums* are deliberately
+not tracked (a float sum over thread-interleaved observations is not
+deterministic), so rendered histograms carry ``_bucket`` and ``_count``
+series but no ``_sum``.
+"""
+
+import re
+import time
+
+from repro import obs
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SloObjective, SloTracker
+
+#: metric-name prefix every exposed series carries.
+PROM_PREFIX = "repro"
+
+#: request-latency buckets (milliseconds); labels are the ``le`` bounds,
+#: which is what lets :func:`render_prometheus` emit them as a canonical
+#: cumulative Prometheus histogram.
+LATENCY_BUCKETS_MS = (
+    (1.0, "1"), (2.0, "2"), (5.0, "5"), (10.0, "10"), (20.0, "20"),
+    (50.0, "50"), (100.0, "100"), (250.0, "250"), (1000.0, "1000"),
+    (float("inf"), "+Inf"),
+)
+
+#: the service's default objectives: p99 query latency, 5xx error rate,
+#: and ingest lag (all judged over a 5-minute sliding window).
+DEFAULT_OBJECTIVES = (
+    SloObjective(name="query_latency_p99", metric="http.latency_ms",
+                 kind="p99", target=250.0, comparison="<=",
+                 degraded=1000.0),
+    SloObjective(name="error_rate", metric="http.errors", kind="rate",
+                 target=0.01, comparison="<=", degraded=0.05),
+    SloObjective(name="ingest_lag", metric="ingest.lag_windows",
+                 kind="max", target=0.0, comparison="<=", degraded=2.0),
+)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name, suffix=""):
+    """``probe.attempts`` → ``repro_probe_attempts`` (+ ``suffix``)."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return f"{PROM_PREFIX}_{sanitized}{suffix}"
+
+
+def escape_label(value):
+    """Escape a label value per the exposition format."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def format_value(value):
+    """A number formatted the way Prometheus expects (``+Inf`` aware)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _le_bound(label):
+    """The ``le`` bound a histogram bucket label encodes, or ``None``."""
+    if label == "+Inf":
+        return float("inf")
+    try:
+        return float(label)
+    except ValueError:
+        return None
+
+
+def _histogram_lines(name, members):
+    """One histogram's exposition lines.
+
+    Labels that all parse as ``le`` bounds render as a canonical
+    cumulative histogram (``_bucket{le=...}`` + ``_count``); anything
+    else (e.g. ``probe.latency``'s human-readable ``<10ms`` taxonomy)
+    falls back to a labeled counter, which loses the histogram type but
+    none of the data.
+    """
+    bounds = {label: _le_bound(label) for label in members}
+    if members and all(bound is not None for bound in bounds.values()):
+        base = metric_name(name)
+        lines = [f"# TYPE {base} histogram"]
+        cumulative = 0
+        ordered = sorted(members, key=lambda label: bounds[label])
+        for label in ordered:
+            cumulative += members[label]
+            lines.append(f'{base}_bucket{{le="{label}"}} {cumulative}')
+        if bounds[ordered[-1]] != float("inf"):
+            lines.append(f'{base}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{base}_count {cumulative}")
+        return lines
+    base = metric_name(name, "_total")
+    lines = [f"# TYPE {base} counter"]
+    for label in sorted(members):
+        lines.append(
+            f'{base}{{bucket="{escape_label(label)}"}} {members[label]}')
+    return lines
+
+
+def render_prometheus(snapshot):
+    """A :meth:`MetricsRegistry.snapshot` as Prometheus exposition text.
+
+    Families of the same group render in sorted name order with sorted
+    label values, so two renders of equal snapshots are byte-identical.
+    Always ends with a trailing newline (scrape endpoints must).
+    """
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        full = metric_name(name, "_total")
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        full = metric_name(name)
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {format_value(value)}")
+    for name, members in snapshot.get("families", {}).items():
+        full = metric_name(name, "_total")
+        lines.append(f"# TYPE {full} counter")
+        for key in sorted(members):
+            lines.append(f'{full}{{key="{escape_label(key)}"}} '
+                         f"{format_value(members[key])}")
+    for name, members in snapshot.get("histograms", {}).items():
+        lines.extend(_histogram_lines(name, members))
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _parse_labels(raw):
+    labels = {}
+    cursor = 0
+    while cursor < len(raw):
+        match = _LABEL.match(raw, cursor)
+        if match is None:
+            raise ValueError(f"malformed label set {raw!r}")
+        labels[match.group(1)] = (
+            match.group(2).replace('\\"', '"').replace("\\n", "\n")
+            .replace("\\\\", "\\"))
+        cursor = match.end()
+        if cursor < len(raw):
+            if raw[cursor] != ",":
+                raise ValueError(f"malformed label set {raw!r}")
+            cursor += 1
+    return labels
+
+
+def parse_prometheus(text):
+    """Parse exposition text into ``{name: {(label pairs): value}}``.
+
+    Strict: every non-comment line must be a well-formed sample, every
+    ``# TYPE`` must name a known type, and a name may be typed only
+    once.  Raises ``ValueError`` with the offending line otherwise —
+    this is the validity check CI's smoke job runs on a live scrape.
+    """
+    metrics = {}
+    types = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ValueError(
+                        f"line {lineno}: malformed TYPE comment")
+                _, _, name, kind = parts
+                if not _NAME_OK.match(name):
+                    raise ValueError(
+                        f"line {lineno}: bad metric name {name!r}")
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    raise ValueError(
+                        f"line {lineno}: unknown type {kind!r}")
+                if name in types and types[name] != kind:
+                    raise ValueError(
+                        f"line {lineno}: {name!r} re-typed "
+                        f"{types[name]!r} -> {kind!r}")
+                types[name] = kind
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "")
+        raw_value = match.group("value")
+        if raw_value == "+Inf":
+            value = float("inf")
+        elif raw_value == "-Inf":
+            value = float("-inf")
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: bad sample value "
+                    f"{raw_value!r}") from None
+        key = tuple(sorted(labels.items()))
+        metrics.setdefault(name, {})[key] = value
+    return {"metrics": metrics, "types": types}
+
+
+def route_key(route):
+    """A route as a metric-name-safe key (``/v1/doc`` → ``v1_doc``)."""
+    stripped = route.strip("/")
+    if not stripped:
+        return "root"
+    return re.sub(r"[^a-zA-Z0-9_]", "_", stripped)
+
+
+def status_class(status):
+    """``404`` → ``"4xx"`` (the status-class counter taxonomy)."""
+    return f"{int(status) // 100}xx"
+
+
+class ServiceTelemetry:
+    """One server's request/ingest middleware state.
+
+    Owns the :class:`SloTracker` and :class:`FlightRecorder`; metric
+    updates flow through the process-global :mod:`repro.obs` context
+    (no-ops while disabled, which is why ``repro serve`` activates an
+    enabled context at boot).  ``clock`` feeds both the request timer
+    and the SLO window, so an injected fake clock makes the whole
+    telemetry plane deterministic.
+    """
+
+    def __init__(self, clock=time.perf_counter,
+                 objectives=DEFAULT_OBJECTIVES, recorder_capacity=256):
+        self.clock = clock
+        self.slo = SloTracker(objectives, clock=clock)
+        self.recorder = FlightRecorder(recorder_capacity)
+
+    def observe_request(self, route, status, duration_s):
+        """Fold one finished request into every telemetry surface."""
+        ms = duration_s * 1000.0
+        key = route_key(route)
+        registry = obs.active_registry()
+        if registry is not None:
+            registry.histogram(f"http.latency_ms.{key}",
+                               LATENCY_BUCKETS_MS).observe(ms)
+            registry.family("http.requests").inc(status_class(status))
+            registry.family("http.requests_by_route").inc(route)
+        self.slo.record("http.latency_ms", ms)
+        self.slo.record("http.errors",
+                        1.0 if int(status) >= 500 else 0.0)
+        self.recorder.record({
+            "type": "request", "route": route, "status": int(status),
+            "duration_ms": round(ms, 3)})
+
+    def request_started(self):
+        """Mark one request in flight; returns its start time."""
+        registry = obs.active_registry()
+        if registry is not None:
+            registry.gauge("http.in_flight").add(1)
+        return self.clock()
+
+    def request_finished(self, route, status, started):
+        """Close the in-flight window opened by :meth:`request_started`."""
+        registry = obs.active_registry()
+        if registry is not None:
+            registry.gauge("http.in_flight").add(-1)
+        self.observe_request(route, status, self.clock() - started)
+
+    def update_ingest(self, ingester):
+        """Refresh ingest-side SLO samples and the flight recorder.
+
+        (The lag *gauges* themselves are kept current by the
+        :class:`~repro.ingest.ingester.Ingester`.)
+        """
+        progress = ingester.status()
+        lag = progress["windows_total"] - progress["windows_ingested"]
+        self.slo.record("ingest.lag_windows", float(lag))
+        self.recorder.record({
+            "type": "ingest",
+            "windows_ingested": progress["windows_ingested"],
+            "windows_total": progress["windows_total"],
+            "lag_windows": lag,
+            "records_ingested": progress["records_ingested"],
+        })
+        return lag

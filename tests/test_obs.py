@@ -177,6 +177,26 @@ class TestMetricsRegistry:
         assert hist.snapshot() == {"<1": 2, "<2": 2, ">=2": 2}
         assert hist.total == 6
 
+    def test_histogram_boundary_value_lands_in_next_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "h", ((1.0, "<1"), (2.0, "<2"), (float("inf"), ">=2")))
+        hist.observe(1.0)  # exactly on a bound: strictly-below rule
+        assert hist.snapshot() == {"<2": 1}
+        hist.observe(0.9999999999)
+        assert hist.snapshot() == {"<1": 1, "<2": 1}
+
+    def test_histogram_overflow_without_inf_catchall(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", ((1.0, "<1"), (2.0, "<2")))
+        hist.observe(99.0)  # beyond every bound: last label absorbs it
+        hist.observe(-5.0)  # below every bound: first bucket
+        assert hist.snapshot() == {"<1": 1, "<2": 1}
+
+    def test_histogram_rejects_empty_buckets(self):
+        with pytest.raises(ValueError, match="bucket"):
+            MetricsRegistry().histogram("h", ())
+
     def test_snapshot_sorted_and_json_stable(self):
         registry = MetricsRegistry()
         registry.counter("z").inc(2)
@@ -196,6 +216,25 @@ class TestMetricsRegistry:
         rows = flatten_snapshot(registry.snapshot())
         assert ("c", 7) in rows
         assert ("f{k}", 2) in rows
+
+    def test_flatten_snapshot_nested_families_sorted(self):
+        registry = MetricsRegistry()
+        registry.family("z.family").inc("beta", 2)
+        registry.family("z.family").inc("alpha")
+        registry.family("a.family").inc("k", 5)
+        registry.histogram(
+            "m.hist", ((1.0, "<1"), (float("inf"), ">=1"))).observe(3.0)
+        registry.counter("b.counter").inc(9)
+        registry.gauge("g.gauge").set(4)
+        rows = flatten_snapshot(registry.snapshot())
+        assert rows == [
+            ("a.family{k}", 5),
+            ("b.counter", 9),
+            ("g.gauge", 4),
+            ("m.hist{>=1}", 1),
+            ("z.family{alpha}", 1),
+            ("z.family{beta}", 2),
+        ]
 
     def test_concurrent_updates_exact(self):
         registry = MetricsRegistry()
@@ -427,6 +466,32 @@ class TestCLI:
 
     def test_trace_summary_missing_file(self, capsys):
         assert main(["trace-summary", "/nonexistent/trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("trace-summary: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_trace_summary_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        assert main(["trace-summary", str(empty)]) == 2
+        err = capsys.readouterr().err
+        assert "empty trace file" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_trace_summary_corrupt_file(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text('{"type": "span"}\nnot json at all\n',
+                           encoding="utf-8")
+        assert main(["trace-summary", str(corrupt)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt JSONL" in err
+        assert f"{corrupt}:2" in err  # names the file and line
+
+    def test_trace_summary_non_object_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('[1, 2, 3]\n', encoding="utf-8")
+        assert main(["trace-summary", str(bad)]) == 2
+        assert "expected a JSON object" in capsys.readouterr().err
 
     def test_obs_deactivated_after_command(self, tmp_path, study):
         out = tmp_path / "capture.jsonl"

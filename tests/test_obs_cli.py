@@ -1,0 +1,112 @@
+"""Tests for the ``repro obs`` CLI group against a live server.
+
+Exercises ``obs export`` / ``obs diff`` / ``obs top`` end to end over a
+real socket (the same transport an operator would use), plus the error
+paths that must exit 2 with a one-line diagnosis instead of a traceback.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.ingest import Ingester, QueryService, make_server
+from repro.obs.telemetry import parse_prometheus
+
+#: nothing listens here: the connection-refused error path.
+DEAD_URL = "http://127.0.0.1:1"
+
+
+@pytest.fixture(scope="module")
+def server_url(study):
+    service = QueryService(study, Ingester(study)).warm()
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+
+
+class TestObsExport:
+    def test_export_json(self, server_url, tmp_path, capsys):
+        out = tmp_path / "snap.json"
+        assert main(["obs", "export", server_url, "-o", str(out)]) == 0
+        assert "wrote json metrics snapshot" in capsys.readouterr().out
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert "metrics" in payload["data"]
+
+    def test_export_prom(self, server_url, tmp_path):
+        out = tmp_path / "snap.prom"
+        assert main(["obs", "export", server_url, "-o", str(out),
+                     "--format", "prom"]) == 0
+        # The export must be valid exposition text.
+        parse_prometheus(out.read_text(encoding="utf-8"))
+
+    def test_export_to_stdout(self, server_url, capsys):
+        assert main(["obs", "export", server_url, "-o", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["endpoint"] == "/metrics"
+
+    def test_export_dead_server_exits_2(self, capsys):
+        assert main(["obs", "export", DEAD_URL, "-o", "-"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("obs export: ")
+        assert len(err.strip().splitlines()) == 1
+
+
+class TestObsDiff:
+    def export(self, server_url, path):
+        assert main(["obs", "export", server_url,
+                     "-o", str(path)]) == 0
+
+    def test_diff_without_regressions(self, server_url, tmp_path,
+                                      capsys):
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        self.export(server_url, before)
+        self.export(server_url, after)
+        capsys.readouterr()
+        assert main(["obs", "diff", str(before), str(after)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_diff_detects_regression(self, tmp_path, capsys):
+        def write(path, errors):
+            path.write_text(json.dumps({
+                "metrics": {"families":
+                            {"serve.errors": {"500": errors}}}}),
+                encoding="utf-8")
+
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        write(before, 0)
+        write(after, 5)
+        report_path = tmp_path / "report.json"
+        assert main(["obs", "diff", str(before), str(after),
+                     "--json", str(report_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["ok"] is False
+        assert report["regressions"][0]["reason"] == "error counter grew"
+
+    def test_diff_missing_file_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        assert main(["obs", "diff", str(missing), str(missing)]) == 2
+        assert capsys.readouterr().err.startswith("obs diff: ")
+
+
+class TestObsTop:
+    def test_renders_frames(self, server_url, capsys):
+        assert main(["obs", "top", server_url, "--count", "2",
+                     "--interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("serve: ") == 2
+        assert "slo" in out
+        assert "req/s" in out  # second frame carries the rate delta
+
+    def test_dead_server_exits_2(self, capsys):
+        assert main(["obs", "top", DEAD_URL, "--count", "1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("obs top: ")
+        assert len(err.strip().splitlines()) == 1

@@ -7,7 +7,11 @@ import urllib.request
 
 import pytest
 
-from repro.ingest import Ingester, QueryService, make_server, run_load
+from repro import obs
+from repro.ingest import (Ingester, PlainText, QueryService, make_server,
+                          run_load)
+from repro.obs.slo import STATES
+from repro.obs.telemetry import parse_prometheus
 from repro.schema import SCHEMA_VERSION
 
 
@@ -105,6 +109,125 @@ class TestEndpoints:
         assert "issuer" in verdict["data"]
 
 
+class TestTelemetryPlane:
+    def test_metrics_prom_format_param(self, service):
+        with obs.enabled():
+            obs.incr("probe.attempts", n=3)
+            status, payload = service.handle("/metrics",
+                                             {"format": ["prom"]})
+        assert status == 200
+        assert isinstance(payload, PlainText)
+        assert payload.content_type == PlainText.PROMETHEUS
+        parsed = parse_prometheus(payload.text)
+        assert parsed["metrics"]["repro_probe_attempts_total"][()] == 3
+
+    def test_metrics_accept_header_negotiation(self, service):
+        status, payload = service.handle("/metrics",
+                                         accept="text/plain")
+        assert status == 200
+        assert isinstance(payload, PlainText)
+        # Explicit JSON (or a browser wildcard) keeps the JSON default.
+        for accept in ("application/json, text/plain", "*/*", None):
+            status, payload = service.handle("/metrics", accept=accept)
+            assert status == 200
+            assert isinstance(payload, dict)
+            assert "metrics" in payload["data"]
+
+    def test_metrics_format_param_beats_accept(self, service):
+        _, payload = service.handle("/metrics", {"format": ["json"]},
+                                    accept="text/plain")
+        assert isinstance(payload, dict)
+
+    def test_metrics_unknown_format_400(self, service):
+        status, payload = service.handle("/metrics",
+                                         {"format": ["xml"]})
+        assert status == 400
+        assert "xml" in payload["error"]["message"]
+
+    def test_slo_endpoint(self, service):
+        status, payload = service.handle("/v1/slo")
+        assert status == 200
+        data = payload["data"]
+        assert data["status"] in STATES
+        names = [objective["name"] for objective in data["objectives"]]
+        assert names == ["query_latency_p99", "error_rate",
+                         "ingest_lag"]
+        by_name = {o["name"]: o for o in data["objectives"]}
+        # The ingester is fully warm, so lag is zero and the SLO holds.
+        assert by_name["ingest_lag"]["status"] == "ok"
+        assert by_name["ingest_lag"]["samples"] >= 1
+
+    def test_healthz_reports_slo_state(self, service):
+        _, payload = service.handle("/healthz")
+        data = payload["data"]
+        assert data["slo"]["status"] in STATES
+        assert set(data["slo"]["objectives"]) == {
+            "query_latency_p99", "error_rate", "ingest_lag"}
+        assert data["status"] == data["slo"]["status"]
+
+    def test_debug_recent_endpoint(self, service):
+        service.handle_request("/healthz")
+        _, payload = service.handle("/v1/debug/recent")
+        data = payload["data"]
+        assert data["capacity"] == service.telemetry.recorder.capacity
+        assert data["events_seen"] >= len(data["events"]) >= 1
+        assert data["events"][-1]["type"] in ("request", "ingest")
+        # seq is monotonic across the returned window.
+        seqs = [event["seq"] for event in data["events"]]
+        assert seqs == sorted(seqs)
+
+    def test_debug_recent_limit(self, service):
+        for _ in range(3):
+            service.handle_request("/healthz")
+        _, payload = service.handle("/v1/debug/recent",
+                                    {"limit": ["2"]})
+        assert len(payload["data"]["events"]) == 2
+        _, payload = service.handle("/v1/debug/recent", {"limit": ["0"]})
+        assert payload["data"]["events"] == []
+
+    def test_debug_recent_limit_validation(self, service):
+        status, _ = service.handle("/v1/debug/recent",
+                                   {"limit": ["abc"]})
+        assert status == 400
+        status, _ = service.handle("/v1/debug/recent",
+                                   {"limit": ["-1"]})
+        assert status == 400
+
+    def test_handle_request_instruments_registry(self, service):
+        with obs.enabled() as ctx:
+            status, body, content_type = \
+                service.handle_request("/v1/doc")
+        assert status == 200
+        assert content_type == "application/json"
+        assert json.loads(body)["endpoint"] == "/v1/doc"
+        snap = ctx.metrics.snapshot()
+        assert snap["families"]["http.requests"] == {"2xx": 1}
+        assert snap["families"]["http.requests_by_route"] == \
+            {"/v1/doc": 1}
+        assert sum(snap["histograms"]
+                   ["http.latency_ms.v1_doc"].values()) == 1
+        assert snap["gauges"]["http.in_flight"] == 0  # closed again
+
+    def test_handle_request_unmatched_path_bounded_label(self, service):
+        with obs.enabled() as ctx:
+            status, _, _ = service.handle_request("/scanned/by/a/bot")
+        assert status == 404
+        snap = ctx.metrics.snapshot()
+        # One shared label, so scanners cannot grow the namespace.
+        assert snap["families"]["http.requests_by_route"] == \
+            {"unknown": 1}
+        assert snap["families"]["http.requests"] == {"4xx": 1}
+
+    def test_handle_request_prom_body(self, service):
+        with obs.enabled():
+            obs.incr("probe.attempts")
+            status, body, content_type = service.handle_request(
+                "/metrics", {"format": ["prom"]})
+        assert status == 200
+        assert content_type == PlainText.PROMETHEUS
+        parse_prometheus(body.decode("utf-8"))
+
+
 class TestErrorHandling:
     def test_unknown_route_404(self, service):
         status, payload = service.handle("/v2/doc")
@@ -152,7 +275,8 @@ class TestErrorHandling:
 
 class TestHttpTransport:
     def test_endpoints_over_http(self, server_url):
-        for path in ("/healthz", "/metrics", "/v1/doc",
+        for path in ("/healthz", "/metrics", "/v1/slo",
+                     "/v1/debug/recent?limit=5", "/v1/doc",
                      "/v1/fingerprints?limit=3", "/v1/match-rate",
                      "/v1/issuers", "/v1/verdicts"):
             status, payload = get_json(server_url + path)
@@ -172,6 +296,17 @@ class TestHttpTransport:
             urllib.request.urlopen(
                 server_url + "/v1/fingerprints?limit=zzz")
         assert excinfo.value.code == 400
+
+    def test_prometheus_over_http(self, server_url):
+        for target in (server_url + "/metrics?format=prom",
+                       urllib.request.Request(
+                           server_url + "/metrics",
+                           headers={"Accept": "text/plain"})):
+            with urllib.request.urlopen(target) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"] == \
+                    "text/plain; version=0.0.4; charset=utf-8"
+                parse_prometheus(response.read().decode("utf-8"))
 
     def test_load_generator(self, server_url):
         result = run_load(server_url, requests_per_worker=10,

@@ -1,0 +1,549 @@
+"""Tests for the service telemetry plane (:mod:`repro.obs.telemetry`).
+
+Covers the Prometheus renderer against a golden exposition-text fixture
+(escaping, label ordering, canonical cumulative histograms), the strict
+exposition parser, SLO objectives and sliding windows under a fake
+clock, the flight recorder ring buffer, :class:`ServiceTelemetry`
+middleware semantics, and the ``repro obs`` scrape/diff helpers.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder, TeeSink
+from repro.obs.scrape import (ScrapeError, diff_snapshots, load_export,
+                              render_diff, render_top)
+from repro.obs.sink import read_events
+from repro.obs.slo import SloObjective, SloTracker, worst_state
+from repro.obs.telemetry import (DEFAULT_OBJECTIVES, LATENCY_BUCKETS_MS,
+                                 ServiceTelemetry, escape_label,
+                                 format_value, metric_name,
+                                 parse_prometheus, render_prometheus,
+                                 route_key, status_class)
+
+GOLDEN = Path(__file__).parent / "data" / "golden_exposition.prom"
+
+
+class FakeClock:
+    """A deterministic clock (same shape as the tracer tests use)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def golden_registry():
+    """The registry whose rendering the golden fixture freezes."""
+    registry = MetricsRegistry()
+    registry.counter("probe.attempts").inc(42)
+    registry.gauge("ingest.lag_windows").set(3)
+    registry.gauge("serve.ratio").set(0.25)
+    requests = registry.family("http.requests")
+    requests.inc("4xx")  # inserted out of order: rendering must sort
+    requests.inc("2xx", 5)
+    registry.family("serve.errors").inc('quote"back\\slash\nline', 2)
+    latency = registry.histogram("http.latency_ms.v1_doc",
+                                 LATENCY_BUCKETS_MS)
+    for ms in (0.5, 3.0, 3.5, 40.0, 2000.0):
+        latency.observe(ms)
+    registry.histogram(
+        "probe.latency",
+        ((0.01, "<10ms"), (float("inf"), ">=10ms"))).observe(0.002)
+    return registry
+
+
+class TestRenderPrometheus:
+    def test_matches_golden_fixture(self):
+        rendered = render_prometheus(golden_registry().snapshot())
+        assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+    def test_renders_byte_identical_across_calls(self):
+        snapshot = golden_registry().snapshot()
+        assert render_prometheus(snapshot) == \
+            render_prometheus(json.loads(json.dumps(snapshot)))
+
+    def test_round_trips_through_parser(self):
+        parsed = parse_prometheus(GOLDEN.read_text(encoding="utf-8"))
+        assert parsed["types"]["repro_probe_attempts_total"] == "counter"
+        assert parsed["types"]["repro_ingest_lag_windows"] == "gauge"
+        assert parsed["types"]["repro_http_latency_ms_v1_doc"] == \
+            "histogram"
+        assert parsed["metrics"]["repro_probe_attempts_total"][()] == 42
+        requests = parsed["metrics"]["repro_http_requests_total"]
+        assert requests[(("key", "2xx"),)] == 5
+        # The escaped label value decodes back to the original.
+        errors = parsed["metrics"]["repro_serve_errors_total"]
+        assert errors[(("key", 'quote"back\\slash\nline'),)] == 2
+
+    def test_histogram_buckets_cumulative_with_count(self):
+        parsed = parse_prometheus(GOLDEN.read_text(encoding="utf-8"))
+        buckets = parsed["metrics"]["repro_http_latency_ms_v1_doc_bucket"]
+        assert buckets[(("le", "1"),)] == 1
+        assert buckets[(("le", "5"),)] == 3
+        assert buckets[(("le", "+Inf"),)] == 5
+        count = parsed["metrics"]["repro_http_latency_ms_v1_doc_count"]
+        assert count[()] == 5
+        # No _sum series: observation sums are not deterministic.
+        assert "repro_http_latency_ms_v1_doc_sum" not in parsed["metrics"]
+
+    def test_inf_bucket_added_when_snapshot_lacks_it(self):
+        text = render_prometheus({"histograms": {"h": {"1": 2, "5": 1}}})
+        parsed = parse_prometheus(text)
+        assert parsed["metrics"]["repro_h_bucket"][(("le", "+Inf"),)] == 3
+        assert parsed["metrics"]["repro_h_count"][()] == 3
+
+    def test_non_le_histogram_falls_back_to_labeled_counter(self):
+        text = render_prometheus(
+            {"histograms": {"probe.latency": {"<10ms": 4, ">=10ms": 1}}})
+        parsed = parse_prometheus(text)
+        assert parsed["types"]["repro_probe_latency_total"] == "counter"
+        members = parsed["metrics"]["repro_probe_latency_total"]
+        assert members[(("bucket", "<10ms"),)] == 4
+
+    def test_empty_snapshot_is_valid_exposition(self):
+        text = render_prometheus({})
+        assert text == "\n"
+        assert parse_prometheus(text) == {"metrics": {}, "types": {}}
+
+    def test_family_keys_render_sorted(self):
+        text = render_prometheus(
+            {"families": {"f": {"zeta": 1, "alpha": 2}}})
+        lines = [line for line in text.splitlines()
+                 if not line.startswith("#")]
+        assert lines == ['repro_f_total{key="alpha"} 2',
+                         'repro_f_total{key="zeta"} 1']
+
+    def test_metric_name_sanitizes(self):
+        assert metric_name("http.latency_ms.v1_doc") == \
+            "repro_http_latency_ms_v1_doc"
+        assert metric_name("probe.attempts", "_total") == \
+            "repro_probe_attempts_total"
+        assert metric_name("weird-name!") == "repro_weird_name_"
+
+    def test_escape_label(self):
+        assert escape_label('a"b') == 'a\\"b'
+        assert escape_label("a\\b") == "a\\\\b"
+        assert escape_label("a\nb") == "a\\nb"
+
+    def test_format_value(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+        assert format_value(7) == "7"
+
+
+class TestParsePrometheus:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_prometheus("not a sample at all !!\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus("repro_x abc\n")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            parse_prometheus("# TYPE repro_x sparkline\n")
+
+    def test_rejects_malformed_type_comment(self):
+        with pytest.raises(ValueError, match="malformed TYPE"):
+            parse_prometheus("# TYPE repro_x\n")
+
+    def test_rejects_retyping(self):
+        with pytest.raises(ValueError, match="re-typed"):
+            parse_prometheus("# TYPE repro_x counter\n"
+                             "# TYPE repro_x gauge\n")
+
+    def test_rejects_malformed_labels(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_prometheus('repro_x{key=unquoted} 1\n')
+
+    def test_parses_inf_values(self):
+        parsed = parse_prometheus("repro_x +Inf\nrepro_y -Inf\n")
+        assert parsed["metrics"]["repro_x"][()] == float("inf")
+        assert parsed["metrics"]["repro_y"][()] == float("-inf")
+
+    def test_ignores_non_type_comments_and_blank_lines(self):
+        parsed = parse_prometheus("# HELP repro_x whatever\n"
+                                  "\nrepro_x 1\n")
+        assert parsed["metrics"]["repro_x"][()] == 1.0
+
+    def test_label_order_is_canonicalized(self):
+        parsed = parse_prometheus('repro_x{b="2",a="1"} 5\n')
+        assert parsed["metrics"]["repro_x"][
+            (("a", "1"), ("b", "2"))] == 5.0
+
+
+class TestSloObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SloObjective(name="x", metric="m", kind="p42", target=1.0)
+        with pytest.raises(ValueError, match="comparison"):
+            SloObjective(name="x", metric="m", kind="p50", target=1.0,
+                         comparison="<")
+        with pytest.raises(ValueError, match="window_seconds"):
+            SloObjective(name="x", metric="m", kind="p50", target=1.0,
+                         window_seconds=0)
+
+    def test_judge_three_states(self):
+        objective = SloObjective(name="lat", metric="m", kind="max",
+                                 target=10.0, degraded=100.0)
+        assert objective.judge([5.0]) == ("ok", 5.0)
+        assert objective.judge([50.0]) == ("degraded", 50.0)
+        assert objective.judge([500.0]) == ("failing", 500.0)
+
+    def test_no_degraded_band_fails_directly(self):
+        objective = SloObjective(name="lat", metric="m", kind="max",
+                                 target=10.0)
+        assert objective.judge([11.0]) == ("failing", 11.0)
+
+    def test_ge_comparison(self):
+        objective = SloObjective(name="up", metric="m", kind="mean",
+                                 target=0.99, comparison=">=",
+                                 degraded=0.9)
+        assert objective.judge([1.0, 1.0]) == ("ok", 1.0)
+        assert objective.judge([1.0, 0.9]) == ("degraded", 0.95)
+        assert objective.judge([0.0, 0.0]) == ("failing", 0.0)
+
+    def test_empty_window_is_ok_with_no_value(self):
+        objective = SloObjective(name="lat", metric="m", kind="p99",
+                                 target=10.0)
+        assert objective.judge([]) == ("ok", None)
+
+    def test_rate_is_mean_of_zero_one_samples(self):
+        objective = SloObjective(name="err", metric="m", kind="rate",
+                                 target=0.01)
+        state, value = objective.judge([0.0, 0.0, 0.0, 1.0])
+        assert state == "failing"
+        assert value == 0.25
+
+    def test_percentiles_nearest_rank(self):
+        objective = SloObjective(name="lat", metric="m", kind="p50",
+                                 target=100.0)
+        _, median = objective.judge(list(range(1, 102)))
+        assert median == 51
+
+    def test_worst_state(self):
+        assert worst_state([]) == "ok"
+        assert worst_state(["ok", "ok"]) == "ok"
+        assert worst_state(["ok", "degraded"]) == "degraded"
+        assert worst_state(["degraded", "failing", "ok"]) == "failing"
+
+
+class TestSloTracker:
+    def make(self, **overrides):
+        objective = SloObjective(
+            name="lat_p99", metric="http.latency_ms", kind="p99",
+            target=250.0, degraded=1000.0, window_seconds=60.0,
+            **overrides)
+        clock = FakeClock()
+        return SloTracker([objective], clock=clock), clock
+
+    def test_window_slides_under_fake_clock(self):
+        tracker, clock = self.make()
+        tracker.record("http.latency_ms", 5000.0)  # t=0: breach
+        verdict = tracker.evaluate()
+        assert verdict["status"] == "failing"
+        clock.advance(61.0)  # the breach ages out of the window
+        verdict = tracker.evaluate()
+        assert verdict["status"] == "ok"
+        assert verdict["objectives"][0]["samples"] == 0
+        assert verdict["objectives"][0]["value"] is None
+
+    def test_unwatched_metrics_are_dropped(self):
+        tracker, _ = self.make()
+        tracker.record("nobody.watches.this", 1.0)
+        assert "nobody.watches.this" not in tracker._samples
+
+    def test_old_samples_pruned_on_record(self):
+        tracker, clock = self.make()
+        tracker.record("http.latency_ms", 1.0)
+        clock.advance(120.0)
+        tracker.record("http.latency_ms", 2.0)
+        assert len(tracker._samples["http.latency_ms"]) == 1
+
+    def test_duplicate_objective_names_raise(self):
+        objective = SloObjective(name="x", metric="m", kind="max",
+                                 target=1.0)
+        with pytest.raises(ValueError, match="unique"):
+            SloTracker([objective, objective])
+
+    def test_evaluate_payload_shape(self):
+        tracker = SloTracker(DEFAULT_OBJECTIVES, clock=FakeClock())
+        tracker.record("http.latency_ms", 12.0)
+        verdict = tracker.evaluate()
+        assert verdict["status"] == "ok"
+        assert [o["name"] for o in verdict["objectives"]] == \
+            ["query_latency_p99", "error_rate", "ingest_lag"]
+        latency = verdict["objectives"][0]
+        assert latency["samples"] == 1
+        assert latency["value"] == 12.0
+        assert latency["target"] == 250.0
+        assert latency["comparison"] == "<="
+        assert json.loads(json.dumps(verdict)) == verdict
+
+    def test_summary_is_compact(self):
+        tracker = SloTracker(DEFAULT_OBJECTIVES, clock=FakeClock())
+        tracker.record("ingest.lag_windows", 5.0)  # beyond degraded=2
+        summary = tracker.summary()
+        assert summary["status"] == "failing"
+        assert summary["objectives"]["ingest_lag"] == "failing"
+        assert summary["objectives"]["error_rate"] == "ok"
+
+    def test_overall_status_is_worst_objective(self):
+        tracker = SloTracker(DEFAULT_OBJECTIVES, clock=FakeClock())
+        tracker.record("http.latency_ms", 1.0)       # ok
+        tracker.record("ingest.lag_windows", 1.0)    # degraded (0<1<=2)
+        assert tracker.evaluate()["status"] == "degraded"
+
+
+class TestFlightRecorder:
+    def test_capacity_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.record({"i": i})
+        assert len(recorder) == 3
+        assert recorder.events_seen == 5
+        events = recorder.snapshot()
+        assert [event["i"] for event in events] == [2, 3, 4]
+        assert [event["seq"] for event in events] == [2, 3, 4]
+
+    def test_record_does_not_mutate_caller_dict(self):
+        recorder = FlightRecorder()
+        original = {"type": "request"}
+        stamped = recorder.record(original)
+        assert "seq" not in original
+        assert stamped["seq"] == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_dump_jsonl_round_trip(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(6):
+            recorder.record({"type": "request", "i": i})
+        path = recorder.dump_jsonl(tmp_path / "recent.jsonl")
+        events = read_events(path)
+        assert [event["i"] for event in events] == [2, 3, 4, 5]
+
+    def test_sink_protocol_and_tee(self):
+        recorder = FlightRecorder(capacity=2)
+
+        class ListSink:
+            def __init__(self):
+                self.events = []
+
+            def emit(self, event):
+                self.events.append(event)
+
+            def close(self):
+                self.closed = True
+
+        other = ListSink()
+        tee = TeeSink(recorder, other)
+        tee.emit({"type": "span", "name": "s"})
+        tee.close()
+        assert len(recorder) == 1
+        assert other.events[0]["name"] == "s"
+        assert other.closed is True
+
+
+class TestServiceTelemetry:
+    def test_observe_request_updates_every_surface(self):
+        clock = FakeClock()
+        with obs.enabled() as ctx:
+            telemetry = ServiceTelemetry(clock=clock)
+            telemetry.observe_request("/v1/doc", 200, 0.003)
+            telemetry.observe_request("/v1/doc", 404, 0.030)
+        snap = ctx.metrics.snapshot()
+        assert snap["histograms"]["http.latency_ms.v1_doc"] == \
+            {"5": 1, "50": 1}
+        assert snap["families"]["http.requests"] == {"2xx": 1, "4xx": 1}
+        assert snap["families"]["http.requests_by_route"] == \
+            {"/v1/doc": 2}
+        events = telemetry.recorder.snapshot()
+        assert [e["status"] for e in events] == [200, 404]
+        assert events[0]["duration_ms"] == 3.0
+        verdict = telemetry.slo.evaluate()
+        by_name = {o["name"]: o for o in verdict["objectives"]}
+        assert by_name["query_latency_p99"]["samples"] == 2
+        assert by_name["error_rate"]["value"] == 0.0  # 4xx is not 5xx
+
+    def test_5xx_feeds_the_error_rate(self):
+        telemetry = ServiceTelemetry(clock=FakeClock())
+        telemetry.observe_request("/v1/doc", 500, 0.001)
+        by_name = {o["name"]: o
+                   for o in telemetry.slo.evaluate()["objectives"]}
+        assert by_name["error_rate"]["value"] == 1.0
+        assert by_name["error_rate"]["status"] == "failing"
+
+    def test_request_lifecycle_tracks_in_flight(self):
+        clock = FakeClock()
+        with obs.enabled() as ctx:
+            telemetry = ServiceTelemetry(clock=clock)
+            started = telemetry.request_started()
+            assert ctx.metrics.gauge("http.in_flight").value == 1
+            clock.advance(0.004)
+            telemetry.request_finished("/healthz", 200, started)
+            assert ctx.metrics.gauge("http.in_flight").value == 0
+        assert ctx.metrics.snapshot()["histograms"][
+            "http.latency_ms.healthz"] == {"5": 1}
+
+    def test_disabled_context_still_feeds_slo_and_recorder(self):
+        assert obs.active_registry() is None
+        telemetry = ServiceTelemetry(clock=FakeClock())
+        telemetry.observe_request("/v1/doc", 200, 0.001)
+        assert len(telemetry.recorder) == 1
+        assert telemetry.slo.evaluate()["objectives"][0]["samples"] == 1
+
+    def test_update_ingest_records_lag(self):
+        class StubIngester:
+            def status(self):
+                return {"windows_ingested": 7, "windows_total": 10,
+                        "records_ingested": 120}
+
+        telemetry = ServiceTelemetry(clock=FakeClock())
+        assert telemetry.update_ingest(StubIngester()) == 3
+        event = telemetry.recorder.snapshot()[-1]
+        assert event["type"] == "ingest"
+        assert event["lag_windows"] == 3
+        by_name = {o["name"]: o
+                   for o in telemetry.slo.evaluate()["objectives"]}
+        assert by_name["ingest_lag"]["value"] == 3.0
+        assert by_name["ingest_lag"]["status"] == "failing"
+
+    def test_route_key_and_status_class(self):
+        assert route_key("/v1/doc") == "v1_doc"
+        assert route_key("/") == "root"
+        assert route_key("/v1/debug/recent") == "v1_debug_recent"
+        assert status_class(200) == "2xx"
+        assert status_class(404) == "4xx"
+        assert status_class(503) == "5xx"
+
+
+class TestEnsureEnabled:
+    def test_activates_once_and_is_idempotent(self):
+        assert obs.current().enabled is False
+        try:
+            ctx = obs.ensure_enabled()
+            assert ctx.enabled is True
+            assert obs.current() is ctx
+            assert obs.ensure_enabled() is ctx  # second call: no-op
+        finally:
+            obs.deactivate()
+        assert obs.current().enabled is False
+
+    def test_leaves_an_active_context_alone(self):
+        with obs.enabled() as ctx:
+            assert obs.ensure_enabled() is ctx
+
+
+class TestScrapeHelpers:
+    def snapshot(self, errors=0, lag=0, slow=0):
+        return {
+            "counters": {"probe.attempts": 10},
+            "gauges": {"ingest.lag_windows": lag},
+            "families": {"serve.errors": {"500": errors}},
+            "histograms": {"http.latency_ms.v1_doc":
+                           {"50": 10, "+Inf": slow}},
+        }
+
+    def test_diff_flags_error_counter_growth(self):
+        report = diff_snapshots(self.snapshot(errors=0),
+                                self.snapshot(errors=3))
+        assert not report["ok"]
+        assert report["regressions"][0]["reason"] == "error counter grew"
+
+    def test_diff_flags_lag_gauge_rise(self):
+        report = diff_snapshots(self.snapshot(lag=0),
+                                self.snapshot(lag=4))
+        reasons = {r["reason"] for r in report["regressions"]}
+        assert "lag gauge rose" in reasons
+
+    def test_diff_flags_slow_latency_shift(self):
+        report = diff_snapshots(self.snapshot(slow=0),
+                                self.snapshot(slow=10))
+        reasons = {r["reason"] for r in report["regressions"]}
+        assert any("slow share" in reason for reason in reasons)
+
+    def test_diff_ok_on_benign_growth(self):
+        before = self.snapshot()
+        after = json.loads(json.dumps(before))
+        after["counters"]["probe.attempts"] = 99
+        report = diff_snapshots(before, after)
+        assert report["ok"]
+        assert report["changed"]
+        assert "no regressions" in render_diff(report)
+
+    def test_diff_tracks_added_and_removed_series(self):
+        before = self.snapshot()
+        after = json.loads(json.dumps(before))
+        after["counters"]["new.metric"] = 1
+        del after["counters"]["probe.attempts"]
+        report = diff_snapshots(before, after)
+        assert report["added"] == ["new.metric"]
+        assert report["removed"] == ["probe.attempts"]
+
+    def test_render_diff_marks_regressions(self):
+        report = diff_snapshots(self.snapshot(errors=0),
+                                self.snapshot(errors=3))
+        text = render_diff(report)
+        assert "REGRESSION serve.errors{500}" in text
+        assert "error counter grew" in text
+
+    def test_load_export_accepts_envelope_and_data_half(self, tmp_path):
+        snapshot = self.snapshot()
+        envelope = {"data": {"enabled": True, "metrics": snapshot}}
+        for payload in (envelope, envelope["data"]):
+            path = tmp_path / "export.json"
+            path.write_text(json.dumps(payload), encoding="utf-8")
+            assert load_export(path) == snapshot
+
+    def test_load_export_error_cases(self, tmp_path):
+        with pytest.raises(ScrapeError):
+            load_export(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ScrapeError, match="not valid JSON"):
+            load_export(bad)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"something": "else"}),
+                         encoding="utf-8")
+        with pytest.raises(ScrapeError, match="not an obs export"):
+            load_export(wrong)
+
+    def test_render_top_frame(self):
+        healthz = {"status": "ok", "seed": 2023, "windows_ingested": 8,
+                   "windows_total": 8, "records_ingested": 1200}
+        slo = {"status": "ok", "objectives": [
+            {"name": "query_latency_p99", "kind": "p99", "value": 4.2,
+             "status": "ok", "comparison": "<=", "target": 250.0,
+             "samples": 17}]}
+        metrics = {"metrics": {
+            "gauges": {"http.in_flight": 1, "ingest.lag_windows": 0,
+                       "ingest.records_behind": 0},
+            "families": {"http.requests": {"2xx": 15, "4xx": 2},
+                         "http.requests_by_route": {"/healthz": 9,
+                                                    "/v1/doc": 8}}}}
+        text = render_top(healthz, slo, metrics)
+        assert "serve: ok" in text
+        assert "requests: 17 total" in text
+        assert "slo ok" in text and "query_latency_p99" in text
+        assert "2xx=15" in text
+        assert "/healthz" in text
+        # A previous poll enables the req/s delta.
+        previous = {"families": {"http.requests": {"2xx": 5}}}
+        text = render_top(healthz, slo, metrics, previous=previous,
+                          interval=2.0)
+        assert "(6.0 req/s)" in text
