@@ -6,8 +6,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint check verify bench bench-probe bench-obs \
-        bench-store bench-sweep bench-serve bench-gate serve sweep \
-        report figures examples clean
+        bench-store bench-sweep bench-serve bench-match bench-gate \
+        serve sweep report figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -30,6 +30,16 @@ lint:
 	    | grep -v '^benchmarks/bench_' || true); \
 	if [ -n "$$bad" ]; then \
 	    echo "lint: bare print() in benchmarks/ helper modules:"; \
+	    echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rn --include='*.py' \
+	    -e 'sharing import.*jaccard' -e 'sharing\.jaccard' \
+	    src/repro benchmarks examples \
+	    | grep -v '^src/repro/core/sharing\.py:' \
+	    | grep -v '^src/repro/match/' || true); \
+	if [ -n "$$bad" ]; then \
+	    echo "lint: deprecated sharing.jaccard used outside"; \
+	    echo "      repro.match (use repro.match.set_jaccard):"; \
 	    echo "$$bad"; exit 1; \
 	fi
 	@echo "lint: ok"
@@ -64,10 +74,15 @@ bench-serve:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py \
 	    -o BENCH_serve.json
 
+bench-match:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_match.py \
+	    -o BENCH_match.json
+
 # Re-run the gated benchmarks and compare against committed BENCH_*.json
 # (the CI bench-regression job).
 bench-gate:
-	$(PYTHON) tools/bench_gate.py --override store=0.5
+	$(PYTHON) tools/bench_gate.py --override store=0.5 \
+	    --override match=0.4
 
 # Stream-ingest the capture and serve the query API (checkpoints into
 # the local cache so a restarted server resumes).
@@ -97,5 +112,5 @@ clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis study_report.md \
 	       figure_data capture.jsonl certificates.jsonl BENCH_probe.json \
 	       BENCH_obs.json BENCH_store.json BENCH_sweep.json \
-	       BENCH_serve.json trace.jsonl \
+	       BENCH_serve.json BENCH_match.json trace.jsonl \
 	       *.manifest.json .repro-cache sweep_out bench_fresh

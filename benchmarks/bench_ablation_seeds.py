@@ -7,16 +7,16 @@ server-side is pinned by the catalog and does not vary).
 """
 
 from repro.core.customization import degree_distribution, doc_vendor_all
-from repro.core.matching import match_against_corpus
 from repro.core.security import vulnerability_report
 from repro.core.tables import percent, render_table
 from repro.inspector.dataset import InspectorDataset
 from repro.inspector.generator import WorldGenerator
+from repro.match import shared_engine
 
 ALT_SEED = 7
 
 def _client_headlines(dataset, corpus):
-    match = match_against_corpus(dataset, corpus)
+    match = shared_engine().match_report(dataset, corpus)
     degrees = degree_distribution(dataset)
     vuln = vulnerability_report(dataset)
     doc = list(doc_vendor_all(dataset).values())

@@ -6,7 +6,10 @@ alone is enough to configure and run a study (:class:`StudyConfig`,
 :func:`get_study`, :func:`run_full_study`), cache its artifacts
 (:class:`ArtifactStore`), sweep it across seeds (:class:`SweepRunner`,
 :func:`expand_grid`), stream-ingest and serve it (:class:`Ingester`,
-:class:`TimelineStream`, :func:`serve_study`, :func:`run_load`).
+:class:`TimelineStream`, :func:`serve_study`, :func:`run_load`), and
+match/compare fingerprints at scale (:class:`MatchEngine`,
+:class:`SimilarityIndex`, :class:`CorpusIndex`,
+:class:`FingerprintVector`).
 Everything else is internal layout and may move between releases.
 """
 
@@ -20,6 +23,8 @@ from repro.ingest.ingester import Ingester
 from repro.ingest.loadgen import run_load
 from repro.ingest.server import serve_study
 from repro.ingest.stream import TimelineStream
+from repro.match import (CorpusIndex, FingerprintVector, MatchEngine,
+                         SimilarityIndex)
 from repro.schema import SCHEMA_VERSION
 from repro.store.artifact import ArtifactStore
 from repro.study import Study, get_study
@@ -28,9 +33,13 @@ from repro.sweep.runner import SweepRunner
 
 __all__ = [
     "ArtifactStore",
+    "CorpusIndex",
     "DEFAULT_SEED",
+    "FingerprintVector",
     "Ingester",
+    "MatchEngine",
     "SCHEMA_VERSION",
+    "SimilarityIndex",
     "Study",
     "StudyConfig",
     "SweepRunner",

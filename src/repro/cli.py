@@ -29,9 +29,14 @@ Commands:
   text), ``diff`` (compare two exported snapshots and flag
   regressions — error counters that grew, lag gauges that rose,
   latency histograms that shifted slow);
+- ``match``     the ``repro.match`` engine: ``build-index`` (construct
+  the corpus + vendor similarity indexes, write the stats JSON),
+  ``query`` (exact near-match libraries for one fingerprint id, sketch
+  candidate pruning optional), ``stats`` (engine and index parameters);
 - ``verify``    differential conformance: ``record``/``check`` golden
-  baselines, run the execution-mode equivalence ``matrix``, evaluate
-  the paper ``invariants``, prove ``streaming`` == batch;
+  baselines, run the execution-mode equivalence ``matrix`` (including
+  the ``sketch`` matching mode), evaluate the paper ``invariants``,
+  prove ``streaming`` == batch;
 - ``sweep``     process-parallel multi-config campaigns: ``run`` a seed
   grid (plus trust-store / fault-rate ablations) across worker
   processes, ``resume`` a killed campaign (completed configs are
@@ -362,6 +367,97 @@ def cmd_serve(args):
         print("shutting down")
     finally:
         server.server_close()
+    return 0
+
+
+def _match_engine(args, study):
+    """The seeded :class:`~repro.match.MatchEngine` the flags select."""
+    from repro.match import MatchEngine
+    return MatchEngine.for_config(study.config, mode=args.mode)
+
+
+def cmd_match_build_index(args):
+    from repro.ingest.incremental import fingerprint_id
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    engine = _match_engine(args, study)
+    with obs.span("match.build_index"):
+        payload = engine.stats(dataset=study.dataset,
+                               corpus=study.corpus)
+        payload["fingerprint_ids"] = {
+            fingerprint_id(fp): [int(fp[0]), list(fp[1]), list(fp[2])]
+            for fp in sorted(study.dataset.fingerprints())}
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    args.artifacts.append(args.output)
+    corpus_stats = payload["corpus"]
+    print(f"built {args.mode} match index: "
+          f"{corpus_stats['entries']} corpus entries → "
+          f"{corpus_stats['distinct_keys']} distinct keys "
+          f"(dedup {corpus_stats['dedup_ratio']}x), "
+          f"{payload['vendors']['items']} vendor sets; "
+          f"wrote {args.output}")
+    return 0
+
+
+def cmd_match_query(args):
+    from repro.ingest.incremental import fingerprint_id
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    by_id = {fingerprint_id(fp): fp
+             for fp in study.dataset.fingerprints()}
+    fp = by_id.get(args.fingerprint)
+    if fp is None:
+        print(f"match query: unknown fingerprint id "
+              f"{args.fingerprint!r} (see `repro match build-index` "
+              f"output for the id map)", file=sys.stderr)
+        return 2
+    engine = _match_engine(args, study)
+    with obs.span("match.query"):
+        exact = engine.corpus_index(study.corpus).match(*fp)
+        hits = engine.near_matches(fp, study.corpus,
+                                   threshold=args.threshold,
+                                   limit=args.limit)
+    version, suites, extensions = fp
+    print(f"fingerprint {args.fingerprint}: TLS {int(version):#06x}, "
+          f"{len(suites)} suites, {len(extensions)} extensions")
+    print(f"exact corpus match: "
+          f"{exact.full_name if exact is not None else '(none)'}")
+    if hits:
+        print(f"near matches (Jaccard >= {args.threshold}):")
+        for similarity, library in hits:
+            print(f"  {similarity:.3f}  {library.full_name}")
+    else:
+        print(f"near matches (Jaccard >= {args.threshold}): (none)")
+    return 0
+
+
+def cmd_match_stats(args):
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    engine = _match_engine(args, study)
+    with obs.span("match.stats"):
+        payload = engine.stats(dataset=study.dataset,
+                               corpus=study.corpus)
+    print(f"engine: mode={payload['mode']} seed={payload['seed']:#x} "
+          f"hashes={payload['num_hashes']} bands={payload['bands']}x"
+          f"{payload['rows_per_band']}")
+    corpus_stats = payload["corpus"]
+    print(f"corpus: {corpus_stats['entries']} entries, "
+          f"{corpus_stats['distinct_keys']} distinct keys "
+          f"(dedup {corpus_stats['dedup_ratio']}x), "
+          f"{corpus_stats['prefix_buckets']} (version, "
+          f"suite[:{corpus_stats['suite_prefix']}]) buckets")
+    vendor_stats = payload["vendors"]
+    print(f"vendors: {vendor_stats['items']} sets, "
+          f"{vendor_stats['distinct_vectors']} distinct vectors, "
+          f"{vendor_stats['feature_space']}-bit feature space, "
+          f"candidate pairs {vendor_stats['candidate_pairs']} / "
+          f"{vendor_stats['total_pairs']}")
     return 0
 
 
@@ -702,6 +798,47 @@ def build_parser():
                          help="requests per smoke worker "
                               "(default %(default)s)")
     _add_obs(p_serve)
+
+    p_match = sub.add_parser(
+        "match",
+        help="the repro.match engine: build indexes, query near "
+             "matches, inspect index stats")
+    match_sub = p_match.add_subparsers(dest="match_command",
+                                       required=True)
+
+    def _add_match_command(name, help_text, func):
+        sub_parser = match_sub.add_parser(name, help=help_text)
+        _add_config(sub_parser)
+        _add_cache(sub_parser)
+        sub_parser.add_argument(
+            "--mode", choices=("exact", "sketch"), default="sketch",
+            help="matching engine mode (default %(default)s; results "
+                 "are identical, sketch prunes candidates)")
+        _add_obs(sub_parser)
+        sub_parser.set_defaults(func=func)
+        return sub_parser
+
+    p_mbuild = _add_match_command(
+        "build-index",
+        "construct the corpus + vendor similarity indexes, write the "
+        "stats and fingerprint-id map as JSON", cmd_match_build_index)
+    p_mbuild.add_argument("-o", "--output", default="match_index.json")
+    p_mquery = _add_match_command(
+        "query",
+        "exact near-match libraries for one fingerprint id",
+        cmd_match_query)
+    p_mquery.add_argument("fingerprint",
+                          help="fingerprint id (16-hex handle from "
+                               "build-index or /v1/fingerprints)")
+    p_mquery.add_argument("--threshold", type=float, default=0.7,
+                          help="minimum feature-set Jaccard "
+                               "(default %(default)s)")
+    p_mquery.add_argument("--limit", type=int, default=10,
+                          help="max results (default %(default)s)")
+    _add_match_command(
+        "stats",
+        "engine parameters and corpus/vendor index statistics",
+        cmd_match_stats)
 
     p_verify = sub.add_parser(
         "verify",

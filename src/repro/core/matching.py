@@ -5,8 +5,16 @@ corpus and summarizes the results the way the paper reports them: how
 many fingerprints match (23 of 903, 2.55%), how many distinct libraries
 they resolve to (16: 14 curl+OpenSSL, 2 Mbed TLS), and how many of those
 libraries were already unsupported in 2020 (14 of 16).
+
+The analysis itself now lives on :class:`repro.match.MatchEngine`
+(which adds the sketch-accelerated execution mode); this module keeps
+the :class:`MatchReport` result type and backwards-compatible free
+functions.  ``match_against_corpus`` is deprecated — call
+``MatchEngine.match_report`` (or ``repro.match.shared_engine()``)
+instead.
 """
 
+import warnings
 from dataclasses import dataclass, field
 
 
@@ -52,23 +60,21 @@ class MatchReport:
 
 
 def match_against_corpus(dataset, corpus):
-    """Run the Section 4.1 analysis.
+    """Run the Section 4.1 analysis.  Deprecated.
 
-    Args:
-        dataset: an :class:`~repro.inspector.dataset.InspectorDataset`.
-        corpus: a :class:`~repro.libraries.corpus.LibraryCorpus`.
+    Use :meth:`repro.match.MatchEngine.match_report` (or the
+    mode-aware process engine, ``repro.match.shared_engine()``); this
+    shim delegates there and will be removed in a future release.
 
     Returns a :class:`MatchReport`.
     """
-    fingerprints = dataset.fingerprints()
-    report = MatchReport(total_fingerprints=len(fingerprints))
-    for fp in fingerprints:
-        version, suites, extensions = fp
-        library = corpus.match(version, suites, extensions)
-        if library is not None:
-            report.matched[fp] = library
-            report.device_counts[fp] = len(dataset.fingerprint_devices(fp))
-    return report
+    warnings.warn(
+        "repro.core.matching.match_against_corpus is deprecated; use "
+        "repro.match.MatchEngine.match_report "
+        "(repro.match.shared_engine().match_report)",
+        DeprecationWarning, stacklevel=2)
+    from repro.match.engine import shared_engine
+    return shared_engine().match_report(dataset, corpus)
 
 
 def validate_case_study(dataset, corpus, vendor):
@@ -77,9 +83,5 @@ def validate_case_study(dataset, corpus, vendor):
     Returns the matched library names observed for devices of ``vendor``,
     which can be checked against the vendor's open-source disclosures.
     """
-    matches = set()
-    for fp in dataset.vendor_fingerprints(vendor):
-        library = corpus.match(*fp)
-        if library is not None:
-            matches.add(library.full_name)
-    return sorted(matches)
+    from repro.match.engine import shared_engine
+    return shared_engine().validate_case_study(dataset, corpus, vendor)

@@ -34,7 +34,6 @@ from repro.core import (
     geo,
     issuers,
     labcompare,
-    matching,
     params,
     preferences,
     security,
@@ -43,14 +42,18 @@ from repro.core import (
     slds,
 )
 from repro.inspector.timeline import PROBE_TIME
+from repro.match import shared_engine
 from repro.store.scheduler import AnalysisScheduler, AnalysisSpec
 
 #: Section 4 + Appendix B (client-side) analyses, in paper order.
+#: Matching/similarity nodes run on the process
+#: :class:`~repro.match.MatchEngine` — exact by default, pruned under
+#: ``engine_mode("sketch")``, digest-identical either way.
 CLIENT_ANALYSES = (
     AnalysisSpec(
         "matching", inputs=("dataset", "corpus"),
-        fn=lambda r: matching.match_against_corpus(r["dataset"],
-                                                   r["corpus"])),
+        fn=lambda r: shared_engine().match_report(r["dataset"],
+                                                  r["corpus"])),
     AnalysisSpec(
         "degree_distribution", inputs=("dataset",),
         fn=lambda r: customization.degree_distribution(r["dataset"])),

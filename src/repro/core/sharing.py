@@ -10,40 +10,46 @@ Two analyses explain why non-standard fingerprints recur across vendors:
   *server-specific* fingerprint — devices only exhibit that fingerprint
   when talking to that server — reveal per-application TLS stacks; when
   the devices span multiple vendors, the application is a shared SDK.
+
+Both analyses now execute on :class:`repro.match.MatchEngine` (exact or
+sketch-accelerated, proven digest-identical); this module keeps the
+result types (:class:`ServerFingerprintTie`, :func:`similarity_bands`)
+and backwards-compatible free functions.  ``jaccard`` is deprecated —
+its non-deprecated home is :func:`repro.match.set_jaccard`.
 """
 
-from collections import defaultdict
+import warnings
 from dataclasses import dataclass
-from itertools import combinations
-
-from repro.core.security import fingerprint_vulnerable_components
-from repro.x509.names import second_level_domain
 
 
 def jaccard(set_a, set_b):
-    """Jaccard similarity of two sets (0 for two empty sets)."""
-    if not set_a and not set_b:
-        return 0.0
-    union = set_a | set_b
-    return len(set_a & set_b) / len(union)
+    """Jaccard similarity of two sets (0 for two empty sets).  Deprecated.
+
+    Use :func:`repro.match.set_jaccard` (same contract, non-deprecated)
+    or :meth:`repro.match.FingerprintVector.jaccard` for the popcount
+    fast path; this shim delegates and will be removed in a future
+    release.
+    """
+    warnings.warn(
+        "repro.core.sharing.jaccard is deprecated; use "
+        "repro.match.set_jaccard (or FingerprintVector.jaccard)",
+        DeprecationWarning, stacklevel=2)
+    from repro.match.vector import set_jaccard
+    return set_jaccard(set_a, set_b)
 
 
 def vendor_similarity_pairs(dataset, threshold=0.2):
     """Table 4 — vendor pairs with Jaccard similarity ≥ ``threshold``.
 
     Returns a list of ``(similarity, vendor_a, vendor_b)`` sorted by
-    similarity, descending.
+    similarity, descending.  Delegates to the process
+    :class:`repro.match.MatchEngine` (mode-aware: exact by default,
+    candidate-pruned under ``engine_mode("sketch")`` — results are
+    byte-identical either way).
     """
-    vendors = dataset.vendor_names()
-    fingerprint_sets = {v: dataset.vendor_fingerprints(v) for v in vendors}
-    pairs = []
-    for vendor_a, vendor_b in combinations(vendors, 2):
-        similarity = jaccard(fingerprint_sets[vendor_a],
-                             fingerprint_sets[vendor_b])
-        if similarity >= threshold:
-            pairs.append((similarity, vendor_a, vendor_b))
-    pairs.sort(key=lambda item: (-item[0], item[1], item[2]))
-    return pairs
+    from repro.match.engine import shared_engine
+    return shared_engine().vendor_similarity_pairs(dataset,
+                                                   threshold=threshold)
 
 
 def similarity_bands(pairs):
@@ -86,48 +92,10 @@ def server_specific_fingerprints(dataset, corpus=None):
 
     Returns ``(fraction_of_snis_tied, ties)`` where ``ties`` covers ties
     involving devices of multiple vendors and at least two devices
-    (Table 5's filtering), aggregated per {SLD, fingerprint}.
+    (Table 5's filtering), aggregated per {SLD, fingerprint}.  The
+    algorithm body lives on :class:`repro.match.MatchEngine` (the
+    corpus-match exclusion goes through the active mode's matcher).
     """
-    # For each (device, fp): the set of SLDs it was seen toward.
-    slds_by_device_fp = defaultdict(set)
-    for record in dataset.records:
-        if record.sni:
-            slds_by_device_fp[(record.device_id, record.fingerprint())].add(
-                second_level_domain(record.sni))
-    tied_snis = set()
-    # (sld, fp) → (set of fqdns, set of devices)
-    aggregates = defaultdict(lambda: (set(), set()))
-    total_snis = 0
-    for sni in dataset.snis():
-        total_snis += 1
-        sld = second_level_domain(sni)
-        for fp in dataset.sni_fingerprints(sni):
-            if corpus is not None and corpus.match(*fp) is not None:
-                continue
-            devices = {d for d, f in dataset.sni_device_fingerprints(sni)
-                       if f == fp}
-            if not devices:
-                continue
-            # Server-specific: each such device uses fp only toward this
-            # SLD, and multiple devices share the behaviour.
-            if len(devices) >= 2 and all(
-                    slds_by_device_fp[(d, fp)] == {sld} for d in devices):
-                tied_snis.add(sni)
-                fqdns, all_devices = aggregates[(sld, fp)]
-                fqdns.add(sni)
-                all_devices.update(devices)
-    ties = []
-    for (sld, fp), (fqdns, devices) in aggregates.items():
-        if len(devices) < 2:
-            continue  # exclude single-device outliers (paper's rule)
-        vendors = tuple(sorted({dataset.device_vendor(d) for d in devices}))
-        if len(vendors) < 2:
-            continue  # Table 5 reports cross-vendor ties
-        ties.append(ServerFingerprintTie(
-            sld=sld, fingerprint=fp, fqdn_count=len(fqdns),
-            device_count=len(devices), vendors=vendors,
-            vulnerable_components=tuple(
-                fingerprint_vulnerable_components(fp))))
-    ties.sort(key=lambda tie: (-tie.device_count, tie.sld))
-    fraction = len(tied_snis) / max(1, total_snis)
-    return fraction, ties
+    from repro.match.engine import shared_engine
+    return shared_engine().server_specific_fingerprints(dataset,
+                                                        corpus=corpus)

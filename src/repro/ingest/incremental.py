@@ -28,6 +28,7 @@ from collections import Counter
 from repro.core import customization, matching
 from repro.core.issuers import issuer_report, leaf_issuer_org
 from repro.inspector.generator import PRIVATE_CA_ORGS
+from repro.match import SimilarityIndex, fingerprint_tokens, shared_engine
 from repro.verify.canonical import digest
 
 
@@ -79,6 +80,12 @@ class FingerprintIndex(IncrementalAnalysis):
 
     Backs the ``/v1/fingerprints`` query endpoint and the paper's
     *degree* statistic (number of vendors per fingerprint, Table 2).
+    Each first-seen fingerprint is also added to a live
+    :class:`~repro.match.SimilarityIndex`, so :meth:`similar` answers
+    "which known fingerprints look like this one" with exact
+    feature-set Jaccard over sketch-pruned candidates.  The similarity
+    index is derived state: snapshots and checkpoints are unchanged,
+    and :meth:`restore` rebuilds it from the restored index.
     """
 
     name = "fingerprint_index"
@@ -88,6 +95,8 @@ class FingerprintIndex(IncrementalAnalysis):
         self._index = {}
         #: fingerprint id → fp key (the O(1) query-service handle).
         self._by_id = {}
+        #: fp key → similarity over ClientHello feature sets.
+        self._similarity = SimilarityIndex()
 
     def update(self, record):
         fp = record.fingerprint()
@@ -96,6 +105,7 @@ class FingerprintIndex(IncrementalAnalysis):
             entry = self._index[fp] = {"vendors": set(),
                                        "devices": set(), "records": 0}
             self._by_id[fingerprint_id(fp)] = fp
+            self._similarity.add(fp, fingerprint_tokens(fp))
         entry["vendors"].add(record.vendor)
         entry["devices"].add(record.device_id)
         entry["records"] += 1
@@ -106,6 +116,29 @@ class FingerprintIndex(IncrementalAnalysis):
         if fp is None:
             return None
         return self._entry_json(fp, self._index[fp])
+
+    def similar(self, fp_id, threshold=0.5, limit=10):
+        """Indexed fingerprints feature-similar to one fingerprint id.
+
+        Returns ``[{"similarity": ..., **entry_json}, ...]`` (the probe
+        fingerprint itself excluded), best first, or ``None`` for an
+        unknown id.  Exact Jaccard over ciphersuite/extension/version
+        feature sets; the similarity index only prunes candidates.
+        """
+        fp = self._by_id.get(fp_id)
+        if fp is None:
+            return None
+        hits = self._similarity.query(fingerprint_tokens(fp), threshold)
+        results = []
+        for similarity, other in hits:
+            if other == fp:
+                continue
+            entry = dict(self._entry_json(other, self._index[other]))
+            entry["similarity"] = similarity
+            results.append(entry)
+            if limit is not None and len(results) >= limit:
+                break
+        return results
 
     @staticmethod
     def _entry_json(fp, entry):
@@ -136,6 +169,7 @@ class FingerprintIndex(IncrementalAnalysis):
                                    "devices": set(entry["devices"]),
                                    "records": entry["records"]}
                 self._by_id[fingerprint_id(fp)] = fp
+                self._similarity.add(fp, fingerprint_tokens(fp))
             else:
                 mine["vendors"] |= entry["vendors"]
                 mine["devices"] |= entry["devices"]
@@ -147,6 +181,9 @@ class FingerprintIndex(IncrementalAnalysis):
     def restore(self, state):
         self._index = state["index"]
         self._by_id = {fingerprint_id(fp): fp for fp in self._index}
+        self._similarity = SimilarityIndex()
+        for fp in self._index:
+            self._similarity.add(fp, fingerprint_tokens(fp))
 
     @staticmethod
     def batch_snapshot(study):
@@ -307,8 +344,8 @@ class MatchRate(IncrementalAnalysis):
 
     @staticmethod
     def batch_snapshot(study):
-        report = matching.match_against_corpus(study.dataset,
-                                               study.corpus)
+        report = shared_engine().match_report(study.dataset,
+                                              study.corpus)
         return _match_payload(report)
 
 

@@ -1,0 +1,139 @@
+"""MinHash sketches and LSH banding for Jaccard candidate generation.
+
+The sketch layer estimates set similarity in O(signature) instead of
+O(set), and buckets items so that similar pairs collide:
+
+- :class:`SketchParams` pins the signature width and banding shape;
+- :class:`MinHasher` computes deterministic MinHash signatures over
+  :class:`~repro.match.vector.FeatureSpace` bit positions, using
+  universal hashing ``h_i(x) = (a_i * (x + 1) + b_i) mod p`` with
+  coefficients drawn from ``random.Random(seed)`` — fixed seeds make
+  signatures reproducible across processes and platforms;
+- :class:`LSHIndex` hashes signatures band-wise into buckets; items
+  sharing any band bucket are *sketch candidates* for high-Jaccard
+  pairs.
+
+Determinism contract: signatures depend only on (params, seed, bit
+positions).  :class:`~repro.match.engine.MatchEngine` derives its seed
+from ``StudyConfig.digest()`` so every run of a config sketches
+identically.  Sketches are always *candidates-only*: every consumer in
+:mod:`repro.match` rescoring through the exact bitset Jaccard, so
+sketch parameters can never change an analytic result — only how fast
+it is reached.
+"""
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+
+#: Mersenne prime 2^61 - 1: the universal-hash modulus.
+_PRIME = (1 << 61) - 1
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Shape of a MinHash/LSH configuration.
+
+    ``num_hashes`` MinHash functions are split into ``bands`` bands of
+    ``num_hashes // bands`` rows each.  With ``b`` bands of ``r`` rows,
+    a pair of Jaccard similarity ``s`` collides in at least one band
+    with probability ``1 - (1 - s^r)^b`` — more bands catch lower
+    similarities, more rows per band sharpen the cutoff.
+    """
+
+    num_hashes: int = 64
+    bands: int = 16
+
+    def __post_init__(self):
+        if self.num_hashes < 1 or self.bands < 1:
+            raise ValueError("num_hashes and bands must be >= 1")
+        if self.num_hashes % self.bands:
+            raise ValueError(
+                f"bands ({self.bands}) must divide num_hashes "
+                f"({self.num_hashes})")
+
+    @property
+    def rows(self):
+        """Signature rows per band."""
+        return self.num_hashes // self.bands
+
+    def collision_probability(self, similarity):
+        """P(any band collides) for a pair at the given Jaccard."""
+        return 1.0 - (1.0 - similarity ** self.rows) ** self.bands
+
+
+class MinHasher:
+    """Deterministic MinHash signatures over int feature positions."""
+
+    def __init__(self, params=None, seed=0):
+        self.params = params if params is not None else SketchParams()
+        self.seed = seed
+        rng = random.Random(seed)
+        self._coefficients = tuple(
+            (rng.randrange(1, _PRIME), rng.randrange(0, _PRIME))
+            for _ in range(self.params.num_hashes))
+
+    def signature(self, positions):
+        """The MinHash signature of a set of bit positions.
+
+        The empty set signs as all-``_PRIME`` (no hash value is ever
+        that large), so empty sets only ever collide with each other.
+        """
+        if not positions:
+            return (_PRIME,) * self.params.num_hashes
+        signature = []
+        for mul, add in self._coefficients:
+            signature.append(min((mul * (pos + 1) + add) % _PRIME
+                                 for pos in positions))
+        return tuple(signature)
+
+    def estimate(self, signature_a, signature_b):
+        """Estimated Jaccard: fraction of agreeing signature rows."""
+        agree = sum(1 for a, b in zip(signature_a, signature_b)
+                    if a == b)
+        return agree / len(signature_a)
+
+
+class LSHIndex:
+    """Band-bucketed signatures: items sharing a bucket are candidates."""
+
+    def __init__(self, params=None):
+        self.params = params if params is not None else SketchParams()
+        #: (band index, band tuple) -> [item ids]
+        self._buckets = defaultdict(list)
+
+    def _band_keys(self, signature):
+        rows = self.params.rows
+        for band in range(self.params.bands):
+            yield band, signature[band * rows:(band + 1) * rows]
+
+    def add(self, item_id, signature):
+        for key in self._band_keys(signature):
+            self._buckets[key].append(item_id)
+
+    def candidates(self, signature):
+        """Every item sharing at least one band bucket."""
+        found = set()
+        for key in self._band_keys(signature):
+            found.update(self._buckets.get(key, ()))
+        return found
+
+    def candidate_pairs(self):
+        """All ``(a, b)`` (a < b) pairs co-bucketed in any band."""
+        pairs = set()
+        for bucket in self._buckets.values():
+            if len(bucket) < 2:
+                continue
+            members = sorted(set(bucket))
+            for i, item_a in enumerate(members):
+                for item_b in members[i + 1:]:
+                    pairs.add((item_a, item_b))
+        return pairs
+
+    def bucket_stats(self):
+        sizes = [len(set(bucket)) for bucket in self._buckets.values()]
+        return {
+            "buckets": len(sizes),
+            "max_bucket": max(sizes) if sizes else 0,
+            "multi_item_buckets": sum(1 for size in sizes if size > 1),
+        }

@@ -1,0 +1,111 @@
+"""Deterministic synthetic worlds for matching benchmarks and fuzzing.
+
+The paper's measurement world is fixed (962 fingerprints across 65
+vendors), so demonstrating the "10x world size" north-star requires a
+scaled world that keeps the *shape* of the real one: vendors with
+overlapping fingerprint sets, fingerprints that perturb real suites and
+extensions.  Everything here is seeded — same inputs, same world —
+because `BENCH_match.json` numbers must be reproducible and fuzz
+failures must replay.
+
+- :func:`random_universe` — a random family of token sets for property
+  and fuzz tests (no dataset required);
+- :func:`scaled_vendor_sets` — clone every vendor's fingerprint set
+  ``factor`` times, tagging each clone's fingerprints with a
+  clone-specific marker extension so within-clone overlap survives
+  while clones stay disjoint from each other (pair structure scales
+  linearly, candidate structure stays honest);
+- :func:`scaled_fingerprints` — mutate real fingerprints (seeded suite
+  drops/insertions) into ``factor`` times as many distinct ones.
+"""
+
+import random
+
+#: extension-code base used to tag clone k (clear of real TLS codes).
+CLONE_TAG_BASE = 0xF000
+
+
+def random_universe(items, universe=200, min_size=1, max_size=30,
+                    seed=0):
+    """``items`` random token sets drawn from ``range(universe)``.
+
+    Returns ``{item_id: frozenset(tokens)}`` with ids ``"item-000"``...
+    Deterministic for a given seed.
+    """
+    rng = random.Random(seed)
+    sets = {}
+    for index in range(items):
+        size = rng.randint(min_size, max_size)
+        sets[f"item-{index:03d}"] = frozenset(
+            rng.sample(range(universe), min(size, universe)))
+    return sets
+
+
+def _tag_fingerprint(fp, clone):
+    """Append a clone-marker extension to one 3-tuple fingerprint."""
+    version, suites, extensions = fp
+    return (version, tuple(suites),
+            tuple(extensions) + (CLONE_TAG_BASE + clone,))
+
+
+def scaled_vendor_sets(dataset, factor, seed=0):
+    """A ``factor``-times-larger vendor → fingerprint-set world.
+
+    Clone 0 is the original dataset verbatim.  Clone ``k >= 1`` maps
+    vendor ``v`` to ``v#k`` and tags each of its fingerprints with
+    extension ``CLONE_TAG_BASE + k`` — so similarity structure *within*
+    a clone matches the original exactly, while fingerprints (and thus
+    Jaccard overlap) across clones are disjoint.  The similar-pair
+    count scales by ``factor``; the total pair count by ``factor**2``.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    base = {vendor: dataset.vendor_fingerprints(vendor)
+            for vendor in dataset.vendor_names()}
+    world = {}
+    for clone in range(factor):
+        for vendor, fingerprints in base.items():
+            name = vendor if clone == 0 else f"{vendor}#{clone}"
+            if clone == 0:
+                world[name] = set(fingerprints)
+            else:
+                world[name] = {_tag_fingerprint(fp, clone)
+                               for fp in fingerprints}
+    return world
+
+
+def scaled_fingerprints(dataset, factor, seed=0):
+    """``factor`` times as many distinct fingerprints, seeded mutations.
+
+    Copy 0 is the real fingerprint list.  Copy ``k >= 1`` perturbs each
+    fingerprint with ``random.Random(seed + k)``: drop one suite (if
+    more than one) or insert a synthetic high-code suite, then tag with
+    the clone-marker extension to guarantee distinctness from every
+    other copy.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    originals = sorted(dataset.fingerprints())
+    world = list(originals)
+    seen = set(world)
+    for clone in range(1, factor):
+        rng = random.Random(seed + clone)
+        for fp in originals:
+            version, suites, extensions = fp
+            suites = list(suites)
+            if len(suites) > 1 and rng.random() < 0.5:
+                suites.pop(rng.randrange(len(suites)))
+            else:
+                suites.insert(rng.randrange(len(suites) + 1),
+                              0xE000 + rng.randrange(0x1000))
+            mutated = _tag_fingerprint(
+                (version, tuple(suites), extensions), clone)
+            while mutated in seen:
+                # two originals can mutate into the same fingerprint;
+                # keep the world distinct with a fresh synthetic suite.
+                suites.append(0xE000 + rng.randrange(0x1000))
+                mutated = _tag_fingerprint(
+                    (version, tuple(suites), extensions), clone)
+            seen.add(mutated)
+            world.append(mutated)
+    return world

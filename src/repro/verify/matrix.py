@@ -44,6 +44,10 @@ class ExecutionMode:
             injector's ``max_faulty_attempts``).
         trust_stores: trust-store selection spelling (any permutation
             must produce identical artifacts).
+        match_mode: :mod:`repro.match` engine mode the pipeline runs
+            under (``"exact"`` or ``"sketch"``) — the proof obligation
+            that sketch-pruned candidate generation never changes a
+            result.
     """
 
     name: str
@@ -52,6 +56,7 @@ class ExecutionMode:
     fault_rates: tuple = ()   # of (rate name, value) pairs; frozen-able
     retries: int = None
     trust_stores: tuple = None
+    match_mode: str = "exact"
 
 
 def default_modes(parallel_jobs=4):
@@ -67,6 +72,7 @@ def default_modes(parallel_jobs=4):
                       retries=4),
         ExecutionMode("stores-permuted",
                       trust_stores=tuple(reversed(MAJOR_STORES))),
+        ExecutionMode("sketch", match_mode="sketch"),
     )
 
 
@@ -183,18 +189,22 @@ class EquivalenceMatrix:
 
     def run_mode(self, mode, workdir):
         """Execute one mode; returns its :class:`ModeResult`."""
+        from repro.match import engine_mode
         config = self._mode_config(mode)
         store = self._mode_store(mode, f"{workdir}/{mode.name}")
-        if mode.cache == "warm":
-            # Populate, then measure the all-hits run with fresh state.
-            warmup = self._mode_study(mode, config).attach_store(store)
-            run_full_study(warmup, jobs=mode.jobs)
-        study = self._mode_study(mode, config).attach_store(store)
-        digests = {}
-        run_full_study(
-            study, jobs=mode.jobs,
-            node_observer=lambda stage, packed:
-                digests.__setitem__(stage, digest(packed)))
+        with engine_mode(mode.match_mode):
+            if mode.cache == "warm":
+                # Populate, then measure the all-hits run with fresh
+                # state.
+                warmup = self._mode_study(mode,
+                                          config).attach_store(store)
+                run_full_study(warmup, jobs=mode.jobs)
+            study = self._mode_study(mode, config).attach_store(store)
+            digests = {}
+            run_full_study(
+                study, jobs=mode.jobs,
+                node_observer=lambda stage, packed:
+                    digests.__setitem__(stage, digest(packed)))
         return ModeResult(mode=mode, node_digests=digests)
 
     # -- the grid -------------------------------------------------------------

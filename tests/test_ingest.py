@@ -98,6 +98,35 @@ class TestIncrementalAnalyses:
         assert study.dataset.records[0].vendor in entry["vendors"]
         assert index.lookup("no-such-id") is None
 
+    def test_fingerprint_index_similar(self, study):
+        from repro.match import fingerprint_tokens, set_jaccard
+        index = FingerprintIndex()
+        for record in study.dataset.records:
+            index.update(record)
+        fp = study.dataset.records[0].fingerprint()
+        hits = index.similar(fingerprint_id(fp), threshold=0.5,
+                             limit=5)
+        assert index.similar("no-such-id") is None
+        assert len(hits) <= 5
+        probe = fingerprint_tokens(fp)
+        for hit in hits:
+            other = (hit["tls_version"], tuple(hit["ciphersuites"]),
+                     tuple(hit["extensions"]))
+            assert other != fp  # the probe itself is excluded
+            assert hit["similarity"] == set_jaccard(
+                probe, fingerprint_tokens(other))
+            assert hit["similarity"] >= 0.5
+
+    def test_fingerprint_index_similar_after_restore(self, study):
+        original = FingerprintIndex()
+        for record in study.dataset.records:
+            original.update(record)
+        restored = FingerprintIndex()
+        restored.restore(original.checkpoint())
+        fp_id = fingerprint_id(study.dataset.records[0].fingerprint())
+        assert restored.similar(fp_id, threshold=0.4) == \
+            original.similar(fp_id, threshold=0.4)
+
     def test_merge_partitions_equals_whole(self, study):
         stream = TimelineStream.from_study(study)
         halves = [default_analyses(study), default_analyses(study)]

@@ -5,7 +5,7 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.sharing import jaccard
+from repro.match import set_jaccard as jaccard
 from repro.tlslib.clienthello import ClientHello
 from repro.tlslib.record import ContentType, decode_records, encode_records
 from repro.tlslib.versions import TLSVersion
@@ -114,6 +114,21 @@ class TestJaccardProperties:
     def test_one_iff_equal(self, a, b):
         if jaccard(a, b) == 1.0:
             assert a == b
+
+    @SLOW
+    @given(a=sets, b=sets)
+    def test_vector_jaccard_matches_set_reference(self, a, b):
+        # Same contract, same floats: popcounts and set cardinalities
+        # are the same integers, so the ratios are bit-identical.
+        from repro.match import FeatureSpace, FingerprintVector
+        space = FeatureSpace()
+        vec_a = FingerprintVector.from_tokens(a, space)
+        vec_b = FingerprintVector.from_tokens(b, space)
+        value = vec_a.jaccard(vec_b)
+        assert value == jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == vec_b.jaccard(vec_a)
+        assert vec_a.jaccard(vec_a) == (1.0 if a else 0.0)
 
 
 class TestStackDerivationProperties:

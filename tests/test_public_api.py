@@ -10,9 +10,13 @@ from repro.schema import (SCHEMA_KEY, SCHEMA_VERSION, strip_version,
 #: decisions (update this list *and* the README), removals are breaking.
 PUBLIC_SURFACE = {
     "ArtifactStore",
+    "CorpusIndex",
     "DEFAULT_SEED",
+    "FingerprintVector",
     "Ingester",
+    "MatchEngine",
     "SCHEMA_VERSION",
+    "SimilarityIndex",
     "Study",
     "StudyConfig",
     "SweepRunner",

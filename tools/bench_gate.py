@@ -61,6 +61,12 @@ BENCHES = {
         "metric": "records_per_sec",
         "kind": "ratio",
     },
+    "match": {
+        "script": "benchmarks/bench_match.py",
+        "baseline": "BENCH_match.json",
+        "metric": "speedup",
+        "kind": "ratio",
+    },
 }
 
 
@@ -115,7 +121,8 @@ def main(argv=None):
     parser.add_argument("--bench", action="append", dest="benches",
                         choices=sorted(BENCHES), default=None,
                         help="gate only these benchmarks (repeatable; "
-                             "default: probe, store, obs, serve)")
+                             "default: probe, store, obs, serve, "
+                             "match)")
     parser.add_argument("--tolerance", type=float, default=0.3,
                         help="allowed fractional regression for ratio "
                              "metrics (default %(default)s)")
@@ -131,7 +138,7 @@ def main(argv=None):
     # serve's headline is an absolute throughput (machine-dependent,
     # unlike the self-relative speedup ratios), so it defaults to a
     # looser floor; --override serve=... still wins.
-    names = args.benches or ["probe", "store", "obs", "serve"]
+    names = args.benches or ["probe", "store", "obs", "serve", "match"]
     args.override = [f"serve={max(0.7, args.tolerance)}"] \
         + args.override
     overrides = parse_overrides(args.override)
