@@ -6,8 +6,8 @@
 PYTHON ?= python
 
 .PHONY: install test lint check verify bench bench-probe bench-obs \
-        bench-store bench-sweep bench-serve bench-match bench-gate \
-        serve sweep report figures examples clean
+        bench-store bench-sweep bench-serve bench-match bench-fabric \
+        bench-gate serve sweep report figures examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -78,6 +78,10 @@ bench-match:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_match.py \
 	    -o BENCH_match.json
 
+bench-fabric:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_fabric.py \
+	    -o BENCH_fabric.json
+
 # Re-run the gated benchmarks and compare against committed BENCH_*.json
 # (the CI bench-regression job).
 bench-gate:
@@ -112,5 +116,6 @@ clean:
 	rm -rf benchmarks/results .pytest_cache .hypothesis study_report.md \
 	       figure_data capture.jsonl certificates.jsonl BENCH_probe.json \
 	       BENCH_obs.json BENCH_store.json BENCH_sweep.json \
-	       BENCH_serve.json BENCH_match.json trace.jsonl \
-	       *.manifest.json .repro-cache sweep_out bench_fresh
+	       BENCH_serve.json BENCH_match.json BENCH_fabric.json \
+	       trace.jsonl *.manifest.json .repro-cache sweep_out \
+	       fabric_out bench_fresh

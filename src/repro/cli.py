@@ -39,9 +39,16 @@ Commands:
   prove ``streaming`` == batch;
 - ``sweep``     process-parallel multi-config campaigns: ``run`` a seed
   grid (plus trust-store / fault-rate ablations) across worker
-  processes, ``resume`` a killed campaign (completed configs are
-  skipped via the campaign ledger), ``report`` the aggregate variance
+  processes — or across a one-host cluster with ``--backend cluster``
+  and a remote blob store with ``--store-backend http`` — ``resume`` a
+  killed campaign (completed configs are skipped via the campaign
+  ledger; works across backends), ``report`` the aggregate variance
   bands around every paper anchor;
+- ``fabric``    the distributed campaign fabric: ``serve`` a campaign's
+  units as expiring HTTP leases (plus the content-addressed blob store
+  and Prometheus ``/metrics``), ``worker`` to claim/run/upload units
+  against a coordinator from any machine, ``status`` for the live
+  queue/lease/ledger view;
 - ``trace-summary``  render a ``--trace`` JSONL file (top spans by
   self-time, metric table, manifest line).
 
@@ -557,6 +564,28 @@ def _sweep_cache_root(args):
         os.environ.get(ENV_CACHE_DIR)
 
 
+def _sweep_store_spec(args):
+    """The store-backend spec the sweep/fabric flags describe.
+
+    Raises ``ValueError`` on an impossible combination (the callers
+    print it and exit 2).
+    """
+    from repro.store import http_spec, local_spec
+    cache_root = _sweep_cache_root(args)
+    backend = getattr(args, "store_backend", "local")
+    url = getattr(args, "store_url", None)
+    if backend == "http":
+        if not url and not cache_root:
+            raise ValueError(
+                "--store-backend http needs --store-url (an external "
+                "blob server) or --cache-dir (self-served by the "
+                "coordinator)")
+        return http_spec(url=url, cache_dir=None if url else cache_root)
+    if url:
+        raise ValueError("--store-url requires --store-backend http")
+    return local_spec(cache_root)
+
+
 def _finish_sweep(args, result):
     """Aggregate a campaign, print + write the report; returns exit code."""
     from repro.sweep import SweepAggregator
@@ -584,6 +613,13 @@ def cmd_sweep_run(args):
                             grid=parse_grid(args.grid),
                             time_scale=args.time_scale,
                             stage=args.stage)
+        store = _sweep_store_spec(args)
+        if args.backend == "local" and store \
+                and store.get("backend") == "http" \
+                and not store.get("url"):
+            raise ValueError("a self-served http store needs "
+                             "--backend cluster (or an explicit "
+                             "--store-url)")
     except ValueError as exc:
         print(f"sweep run: {exc}", file=sys.stderr)
         return 2
@@ -593,11 +629,14 @@ def cmd_sweep_run(args):
         units=units,
         index_path=os.path.join(args.out, "campaign.json"),
         workers=args.workers,
-        cache_dir=_sweep_cache_root(args))
+        cache_dir=_sweep_cache_root(args),
+        backend=args.backend, store=store,
+        lease_seconds=args.lease_seconds,
+        worker_jobs=args.worker_jobs)
     print(f"sweep: {len(units)} units "
           f"({', '.join(unit.name for unit in units[:8])}"
           f"{', ...' if len(units) > 8 else ''}) across "
-          f"{args.workers} worker(s)")
+          f"{args.workers} {args.backend} worker(s)")
     result = runner.run()
     return _finish_sweep(args, result)
 
@@ -614,17 +653,34 @@ def _load_campaign(args):
 
 
 def cmd_sweep_resume(args):
+    from repro.store import RemoteArtifactStore, StoreUnreachable
     from repro.sweep import SweepRunner
     try:
         index = _load_campaign(args)
     except ValueError as exc:
         print(f"sweep resume: {exc}", file=sys.stderr)
         return 2
+    spec = index.store_spec
+    if spec and spec.get("backend") == "http" and spec.get("url"):
+        # Fail fast with one line instead of a ConnectionError
+        # traceback from the first unit that dials a dead store.
+        try:
+            RemoteArtifactStore(spec["url"]).ping()
+        except StoreUnreachable as exc:
+            print(f"sweep resume: {exc}", file=sys.stderr)
+            return 2
     runner = SweepRunner(
         index_path=os.path.join(args.out, "campaign.json"),
         workers=args.workers,
-        cache_dir=index.cache_dir)
-    result = runner.run(resume=True)
+        cache_dir=index.cache_dir,
+        backend=args.backend, store=spec,
+        lease_seconds=args.lease_seconds,
+        worker_jobs=args.worker_jobs)
+    try:
+        result = runner.run(resume=True)
+    except ValueError as exc:
+        print(f"sweep resume: {exc}", file=sys.stderr)
+        return 2
     return _finish_sweep(args, result)
 
 
@@ -645,6 +701,117 @@ def cmd_sweep_report(args):
         args.artifacts.append(args.json)
         print(f"wrote sweep report to {args.json}")
     return 0 if report.ok else 1
+
+
+def cmd_fabric_serve(args):
+    import threading
+    from repro.fabric import (DEFAULT_LEASE_SECONDS,
+                              DEFAULT_MAX_ATTEMPTS, FabricCoordinator,
+                              make_fabric_server)
+    from repro.store import ArtifactStore, CampaignIndex
+    from repro.sweep import expand_grid, parse_grid
+    index_path = os.path.join(args.out, "campaign.json")
+    try:
+        index = _load_campaign(args)
+        spec = index.store_spec
+        print(f"fabric serve: resuming campaign "
+              f"{index.campaign_id[:12]} ({len(index.completed)}/"
+              f"{len(index.units)} units complete)")
+    except ValueError:
+        try:
+            config = config_from_args(args)
+            units = expand_grid(config, seeds=args.seeds,
+                                grid=parse_grid(args.grid),
+                                time_scale=args.time_scale,
+                                stage=args.stage)
+            spec = _sweep_store_spec(args)
+        except ValueError as exc:
+            print(f"fabric serve: {exc}", file=sys.stderr)
+            return 2
+        args.config = config
+        os.makedirs(args.out, exist_ok=True)
+        index = CampaignIndex.create(
+            index_path, [unit.to_json() for unit in units],
+            units[0].stage, cache_dir=_sweep_cache_root(args),
+            store=spec)
+        print(f"fabric serve: created campaign "
+              f"{index.campaign_id[:12]} ({len(units)} units)")
+    blob_store = None
+    if spec and spec.get("backend") == "http" and not spec.get("url"):
+        blob_store = ArtifactStore(spec["dir"])
+    coordinator = FabricCoordinator(
+        index, store_spec=spec,
+        lease_seconds=args.lease_seconds or DEFAULT_LEASE_SECONDS,
+        max_attempts=args.max_attempts or DEFAULT_MAX_ATTEMPTS)
+    server, _ = make_fabric_server(coordinator, blob_store=blob_store,
+                                   host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    if blob_store is not None:
+        # The self-served spec resolves now that the port is known.
+        coordinator.store_spec = {"backend": "http", "url": url}
+    print(f"fabric coordinator on {url} — point workers at it with "
+          f"`repro fabric worker {url}`")
+    if args.until_done:
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            while not coordinator.done():
+                time.sleep(0.25)
+        finally:
+            server.shutdown()
+            server.server_close()
+        completed = len(index.completed)
+        print(f"fabric serve: campaign finished — {completed}/"
+              f"{len(index.units)} units completed")
+        return 0 if completed == len(index.units) else 1
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_fabric_worker(args):
+    from repro.fabric import worker_main
+    if not args.worker_id:
+        args.worker_id = f"{os.uname().nodename}-{os.getpid()}"
+    try:
+        summary = worker_main(args.url, worker_id=args.worker_id,
+                              jobs=args.jobs, max_units=args.max_units,
+                              poll_seconds=args.poll_seconds)
+    except ConnectionError as exc:
+        print(f"fabric worker: {exc}", file=sys.stderr)
+        return 2
+    print(f"fabric worker {summary['worker']}: "
+          f"ran {len(summary['ran'])}, "
+          f"stolen {len(summary['stolen'])}, "
+          f"failed {len(summary['failed'])}")
+    return 0 if not summary["failed"] else 1
+
+
+def cmd_fabric_status(args):
+    from repro.obs.scrape import ScrapeError, scrape
+    try:
+        status = scrape(args.url, "/fabric/status")
+    except ScrapeError as exc:
+        print(f"fabric status: {exc}", file=sys.stderr)
+        return 2
+    done = " — done" if status.get("done") else ""
+    print(f"campaign {status['campaign_id'][:12]} "
+          f"(stage {status['stage']}): {status['completed']}/"
+          f"{status['units']} completed, {status['pending']} pending, "
+          f"{len(status['leased'])} leased, "
+          f"{status['failed']} failed{done}")
+    for lease in status["leased"]:
+        print(f"  leased  {lease['unit'][:12]}  -> {lease['worker']} "
+              f"(expires in {lease['expires_in']}s)")
+    for key in status["exhausted"]:
+        print(f"  exhausted  {key[:12]} (attempt budget spent)")
+    return 0
 
 
 def cmd_trace_summary(args):
@@ -722,6 +889,24 @@ def cmd_obs_diff(args):
             handle.write("\n")
         print(f"wrote diff report to {args.json}")
     return 0 if report["ok"] else 1
+
+
+def _add_sweep_backend(parser):
+    """Execution-backend flags shared by ``sweep run`` and ``resume``."""
+    parser.add_argument("--backend", choices=("local", "cluster"),
+                        default="local",
+                        help="execution backend: this process / a "
+                             "process pool, or a fabric coordinator + "
+                             "worker processes (default %(default)s; "
+                             "digests are identical either way)")
+    parser.add_argument("--lease-seconds", type=float, default=None,
+                        dest="lease_seconds",
+                        help="cluster lease/heartbeat interval "
+                             "(default: fabric default)")
+    parser.add_argument("--worker-jobs", type=int, default=2,
+                        dest="worker_jobs",
+                        help="claim threads per cluster worker process "
+                             "(default %(default)s)")
 
 
 def _add_study_command(sub, name, help_text, func):
@@ -934,6 +1119,16 @@ def build_parser():
     p_srun.add_argument("--out", metavar="DIR", default="sweep_out",
                         help="campaign directory: ledger + report "
                              "(default %(default)s)")
+    _add_sweep_backend(p_srun)
+    p_srun.add_argument("--store-backend", choices=("local", "http"),
+                        default="local", dest="store_backend",
+                        help="artifact store backend the workers use "
+                             "(default %(default)s; http dials "
+                             "--store-url or is self-served by the "
+                             "cluster coordinator from --cache-dir)")
+    p_srun.add_argument("--store-url", metavar="URL", default=None,
+                        dest="store_url",
+                        help="base URL of an external http blob store")
     _add_obs(p_srun)
     p_srun.set_defaults(func=cmd_sweep_run)
     p_sresume = sweep_sub.add_parser(
@@ -941,6 +1136,7 @@ def build_parser():
                        "incomplete configs")
     p_sresume.add_argument("--out", metavar="DIR", default="sweep_out")
     p_sresume.add_argument("--workers", type=int, default=1)
+    _add_sweep_backend(p_sresume)
     _add_obs(p_sresume)
     p_sresume.set_defaults(func=cmd_sweep_resume, seed=DEFAULT_SEED)
     p_sreport = sweep_sub.add_parser(
@@ -952,6 +1148,100 @@ def build_parser():
                                 "JSON to PATH")
     _add_obs(p_sreport)
     p_sreport.set_defaults(func=cmd_sweep_report, seed=DEFAULT_SEED)
+
+    p_fabric = sub.add_parser(
+        "fabric",
+        help="distributed campaign fabric: serve a campaign's units "
+             "as leases, run a worker, inspect a coordinator")
+    fabric_sub = p_fabric.add_subparsers(dest="fabric_command",
+                                         required=True)
+    p_fserve = fabric_sub.add_parser(
+        "serve",
+        help="serve a campaign over HTTP (leases + blob store + "
+             "/metrics); creates the campaign from the grid flags "
+             "when --out has no ledger yet")
+    _add_config(p_fserve)
+    _add_cache(p_fserve)
+    p_fserve.add_argument("--seeds", type=int, default=4,
+                          help="number of consecutive seeds starting "
+                               "at --seed (default %(default)s)")
+    p_fserve.add_argument("--grid", metavar="AXES", default="seeds",
+                          help="comma-separated grid axes from "
+                               "seeds,stores,faults "
+                               "(default %(default)s)")
+    p_fserve.add_argument("--stage", choices=("full", "probe"),
+                          default="full",
+                          help="run the full pipeline or stop after "
+                               "probing (default %(default)s)")
+    p_fserve.add_argument("--time-scale", type=float, default=0.0,
+                          dest="time_scale",
+                          help="real seconds slept per simulated "
+                               "network second while probing "
+                               "(default %(default)s)")
+    p_fserve.add_argument("--out", metavar="DIR", default="sweep_out",
+                          help="campaign directory "
+                               "(default %(default)s)")
+    p_fserve.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default %(default)s)")
+    p_fserve.add_argument("--port", type=int, default=8600,
+                          help="bind port; 0 picks an ephemeral port "
+                               "(default %(default)s)")
+    p_fserve.add_argument("--store-backend", choices=("local", "http"),
+                          default="local", dest="store_backend",
+                          help="artifact store backend leases carry "
+                               "(default %(default)s; http without "
+                               "--store-url is self-served from "
+                               "--cache-dir)")
+    p_fserve.add_argument("--store-url", metavar="URL", default=None,
+                          dest="store_url",
+                          help="base URL of an external http blob "
+                               "store")
+    p_fserve.add_argument("--lease-seconds", type=float, default=None,
+                          dest="lease_seconds",
+                          help="lease/heartbeat interval "
+                               "(default: fabric default)")
+    p_fserve.add_argument("--max-attempts", type=int, default=None,
+                          dest="max_attempts",
+                          help="lease grants per unit before it is "
+                               "declared failed "
+                               "(default: fabric default)")
+    p_fserve.add_argument("--until-done", action="store_true",
+                          dest="until_done",
+                          help="exit when every unit is completed or "
+                               "exhausted (instead of serving forever)")
+    _add_obs(p_fserve)
+    p_fserve.set_defaults(func=cmd_fabric_serve)
+    p_fworker = fabric_sub.add_parser(
+        "worker", help="claim, run, and upload units from a fabric "
+                       "coordinator until its campaign is done")
+    p_fworker.add_argument("url", help="coordinator base URL")
+    p_fworker.add_argument("--worker-id", default=None,
+                           dest="worker_id",
+                           help="lease identity "
+                                "(default: host-pid)")
+    p_fworker.add_argument("--jobs", type=int, default=2,
+                           help="concurrent claim threads "
+                                "(default %(default)s)")
+    p_fworker.add_argument("--max-units", type=int, default=None,
+                           dest="max_units",
+                           help="stop after completing this many "
+                                "units (default: run until done)")
+    p_fworker.add_argument("--poll-seconds", type=float, default=0.25,
+                           dest="poll_seconds",
+                           help="sleep between lease attempts while "
+                                "the queue is drained "
+                                "(default %(default)s)")
+    _add_obs(p_fworker)
+    p_fworker.set_defaults(func=cmd_fabric_worker, seed=DEFAULT_SEED)
+    p_fstatus = fabric_sub.add_parser(
+        "status", help="one-shot queue/lease/ledger view of a running "
+                       "coordinator")
+    p_fstatus.add_argument("url", nargs="?",
+                           default="http://127.0.0.1:8600",
+                           help="coordinator base URL "
+                                "(default %(default)s)")
+    _add_obs(p_fstatus)
+    p_fstatus.set_defaults(func=cmd_fabric_status, seed=DEFAULT_SEED)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or clear the artifact store")

@@ -1,0 +1,250 @@
+"""The fabric worker: claim a lease, run the unit, upload the result.
+
+:class:`FabricWorker` is the client half of the lease protocol.  Its
+loop is deliberately dumb — all scheduling intelligence lives in the
+coordinator:
+
+1. ``POST /fabric/lease``; if nothing is claimable, poll until the
+   coordinator reports the campaign done;
+2. build the same JSON payload the local
+   :class:`~repro.sweep.runner.SweepRunner` builds (unit spec + the
+   resolved store-backend spec) and run the standard per-unit function
+   (:func:`repro.sweep.worker.run_unit`) — the execution path is
+   *identical* to the local backend from the payload inward, which is
+   what makes per-config digests byte-identical across backends;
+3. heartbeat on a side thread at a third of the lease interval; a 410
+   means the lease expired and the unit was stolen — the worker still
+   finishes and uploads (content-addressed results are
+   interchangeable; the coordinator keeps the first and counts the
+   other as a duplicate);
+4. ``POST /fabric/complete`` (or ``/fabric/fail`` with the error
+   string).
+
+``jobs > 1`` runs that loop on several claim threads inside one
+process.  A study's cost is part CPU, part modeled latency sleeps, so
+two claim threads overlap one thread's sleeps with the other's compute
+— that (not the GIL-bound CPU) is where the cluster backend's speedup
+over a single process comes from.
+
+``worker_main`` is the top-level entry a spawned worker process (or
+``repro fabric worker``) runs; it must stay importable from a clean
+interpreter.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro import obs
+from repro.sweep.worker import run_unit
+
+
+def _derived_cache_dir(store_spec):
+    """The legacy ``cache_dir`` field for payloads (local specs only)."""
+    if store_spec and store_spec.get("backend") == "local":
+        return store_spec.get("dir")
+    return None
+
+
+class _Heartbeat(threading.Thread):
+    """Pings one lease until stopped; flags the lease stolen on 410."""
+
+    def __init__(self, worker, token, interval):
+        super().__init__(daemon=True)
+        self.worker = worker
+        self.token = token
+        self.interval = max(0.05, interval)
+        self.stopped = threading.Event()
+        self.stolen = threading.Event()
+
+    def run(self):
+        while not self.stopped.wait(self.interval):
+            status, _ = self.worker.post("/fabric/heartbeat",
+                                         {"lease": self.token})
+            if status == 410:
+                self.stolen.set()
+                obs.incr("fabric.worker_stolen")
+                return
+            if status == 404:
+                return
+
+    def stop(self):
+        self.stopped.set()
+
+
+class FabricWorker:
+    """One worker process's claim/run/upload loop.
+
+    Args:
+        base_url: the coordinator's base URL.
+        worker_id: how this worker identifies itself in leases.
+        runner: the per-unit function (tests inject stubs).
+        poll_seconds: sleep between lease attempts when the queue is
+            drained but the campaign is not done.
+        max_units: stop after completing this many units (None: run
+            until the campaign is done).
+        jobs: concurrent claim threads inside this worker.
+        heartbeat: disable to simulate a dead worker (tests).
+        max_errors: consecutive transport failures before giving up.
+    """
+
+    def __init__(self, base_url, worker_id="worker", runner=run_unit,
+                 poll_seconds=0.25, max_units=None, jobs=1,
+                 heartbeat=True, max_errors=20, timeout=10.0):
+        self.base_url = str(base_url).rstrip("/")
+        self.worker_id = str(worker_id)
+        self.runner = runner
+        self.poll_seconds = poll_seconds
+        self.max_units = max_units
+        self.jobs = max(1, int(jobs))
+        self.heartbeat = heartbeat
+        self.max_errors = max_errors
+        self.timeout = timeout
+        self.stop_event = threading.Event()
+        self._lock = threading.Lock()
+        #: unit names completed / failed / completed-after-steal here.
+        self.ran = []
+        self.failed = []
+        self.stolen = []
+
+    # -- transport ------------------------------------------------------------
+
+    def post(self, path, payload):
+        """POST one JSON message; returns ``(status, payload dict)``.
+
+        Transport failure returns ``(None, {})`` — the loop counts
+        those and gives up only after ``max_errors`` in a row.
+        """
+        body = json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                return resp.status, json.loads(
+                    resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                detail = {}
+            return exc.code, detail
+        except OSError:
+            return None, {}
+
+    # -- one unit -------------------------------------------------------------
+
+    def _payload(self, lease):
+        store_spec = lease.get("store")
+        return {"unit": lease["unit"],
+                "store": store_spec,
+                "cache_dir": _derived_cache_dir(store_spec)}
+
+    def _run_lease(self, lease):
+        token = lease["lease"]
+        unit = lease["unit"]
+        name = unit.get("name", unit["key"][:12])
+        heart = None
+        if self.heartbeat:
+            heart = _Heartbeat(self, token,
+                               lease.get("lease_seconds", 30.0) / 3.0)
+            heart.start()
+        try:
+            with obs.span(f"fabric.unit.{name}"):
+                result = self.runner(self._payload(lease))
+        except Exception as exc:
+            if heart is not None:
+                heart.stop()
+            self.post("/fabric/fail",
+                      {"lease": token,
+                       "error": f"{type(exc).__name__}: {exc}"})
+            with self._lock:
+                self.failed.append(name)
+            return True
+        if heart is not None:
+            heart.stop()
+        status, reply = self.post("/fabric/complete",
+                                  {"lease": token, "result": result})
+        with self._lock:
+            if heart is not None and heart.stolen.is_set() \
+                    or (status == 200 and reply.get("duplicate")):
+                self.stolen.append(name)
+            else:
+                self.ran.append(name)
+        return status is not None
+
+    # -- the loop -------------------------------------------------------------
+
+    def _loop(self):
+        errors = 0
+        while not self.stop_event.is_set():
+            with self._lock:
+                finished = len(self.ran) + len(self.stolen)
+            if self.max_units is not None \
+                    and finished >= self.max_units:
+                return
+            status, lease = self.post("/fabric/lease",
+                                      {"worker": self.worker_id})
+            if status is None:
+                errors += 1
+                if errors >= self.max_errors:
+                    return
+                time.sleep(self.poll_seconds)
+                continue
+            errors = 0
+            if status != 200:
+                return
+            if lease.get("unit") is None:
+                if lease.get("done"):
+                    return
+                time.sleep(self.poll_seconds)
+                continue
+            self._run_lease(lease)
+
+    def run(self):
+        """Drain the queue; returns this worker's summary dict."""
+        obs.ensure_enabled()
+        if self.jobs == 1:
+            self._loop()
+        else:
+            threads = [threading.Thread(target=self._loop, daemon=True)
+                       for _ in range(self.jobs)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        with self._lock:
+            return {"worker": self.worker_id, "ran": list(self.ran),
+                    "failed": list(self.failed),
+                    "stolen": list(self.stolen)}
+
+    def stop(self):
+        self.stop_event.set()
+
+
+def worker_main(base_url, worker_id="worker", jobs=1, max_units=None,
+                poll_seconds=0.25):
+    """Top-level worker entry (spawn-importable).
+
+    Pings the coordinator before looping, so a worker pointed at a dead
+    endpoint fails fast with a one-line error instead of silently
+    polling ``max_errors`` times.
+    """
+    base_url = str(base_url).rstrip("/")
+    try:
+        with urllib.request.urlopen(f"{base_url}/fabric/ping",
+                                    timeout=10.0):
+            pass
+    except OSError:
+        raise ConnectionError(
+            f"no fabric coordinator at {base_url}") from None
+    worker = FabricWorker(base_url, worker_id=worker_id, jobs=jobs,
+                          max_units=max_units,
+                          poll_seconds=poll_seconds)
+    return worker.run()
+
+
+__all__ = ["FabricWorker", "worker_main"]

@@ -23,11 +23,25 @@ reproduction the same shape:
   rename, like ``.art`` entries) campaign-level ledger a multi-config
   sweep (:mod:`repro.sweep`) writes after every finished unit, so a
   killed campaign resumes by re-running only incomplete configs.
+- :class:`~repro.store.remote.RemoteArtifactStore` — the HTTP client for
+  a store served by the fabric coordinator (:mod:`repro.fabric`): the
+  same ``.art`` wire format and integrity checks as the local store,
+  fronted by a deterministic in-memory LRU, with every defect degrading
+  to a retriable miss.  :func:`~repro.store.backend.store_from_spec`
+  turns the JSON backend spec a campaign ledger records into whichever
+  store it names.
 """
 
-from repro.store.artifact import MISS, ArtifactStore
+from repro.store.artifact import MISS, ArtifactStore, blob_key_of, \
+    content_key, decode_entry, encode_entry, read_entry
+from repro.store.backend import http_spec, local_spec, store_from_spec
 from repro.store.campaign import CampaignIndex, campaign_id_for
+from repro.store.remote import BlobCache, RemoteArtifactStore, \
+    StoreUnreachable
 from repro.store.scheduler import AnalysisScheduler, AnalysisSpec
 
 __all__ = ["MISS", "AnalysisScheduler", "AnalysisSpec", "ArtifactStore",
-           "CampaignIndex", "campaign_id_for"]
+           "BlobCache", "CampaignIndex", "RemoteArtifactStore",
+           "StoreUnreachable", "blob_key_of", "campaign_id_for",
+           "content_key", "decode_entry", "encode_entry", "http_spec",
+           "local_spec", "read_entry", "store_from_spec"]

@@ -59,6 +59,95 @@ class _Miss:
 MISS = _Miss()
 
 
+# -- the shared .art wire format ----------------------------------------------
+#
+# Both store backends — the local on-disk store below and the remote
+# HTTP store (:mod:`repro.store.remote`) — speak exactly this format, so
+# a blob written by one is byte-for-byte readable (and verifiable) by
+# the other, and a blob server can validate uploads without knowing the
+# config that produced them: the content key is recomputable from the
+# header alone.
+
+def content_key(artifact, stage, version):
+    """The content key of an ``(artifact digest, stage, version)`` triple."""
+    payload = {"artifact": artifact, "stage": stage, "version": version}
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def encode_entry(artifact, stage, version, payload):
+    """The full ``.art`` blob for a pickled ``payload`` byte string."""
+    header = {
+        "artifact": artifact,
+        "stage": stage,
+        "version": version,
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "size": len(payload),
+    }
+    return (_MAGIC + json.dumps(header, sort_keys=True).encode("utf-8")
+            + b"\n" + payload)
+
+
+def read_entry(raw):
+    """Parse + integrity-check a raw blob; ``(header, payload)`` or ``None``.
+
+    Verifies the magic line and the payload SHA-256 against the header —
+    truncation, bit rot, and torn writes all return ``None``.
+    """
+    buffer = io.BytesIO(raw)
+    if buffer.readline() != _MAGIC:
+        return None
+    try:
+        header = json.loads(buffer.readline().decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if not isinstance(header, dict):
+        return None
+    payload = buffer.read()
+    if header.get("sha256") != hashlib.sha256(payload).hexdigest():
+        return None
+    return header, payload
+
+
+def decode_entry(raw, expected):
+    """The cached value inside ``raw``, or :data:`MISS`.
+
+    ``expected`` maps header fields (``artifact``/``stage``/``version``)
+    to the values the caller's key was built from; any mismatch — the
+    wrong blob, a version-skewed blob, a forged header — is a miss.
+    """
+    parsed = read_entry(raw)
+    if parsed is None:
+        return MISS
+    header, payload = parsed
+    if any(header.get(field) != value
+           for field, value in expected.items()):
+        return MISS
+    try:
+        return pickle.loads(payload)
+    except Exception:
+        return MISS
+
+
+def blob_key_of(raw):
+    """The content key a raw blob's own header claims, or ``None``.
+
+    A blob server uses this to validate an upload end-to-end: the key
+    recomputed from the header must equal the key the client addressed,
+    and :func:`read_entry` has already checked the payload checksum.
+    """
+    parsed = read_entry(raw)
+    if parsed is None:
+        return None
+    header, _ = parsed
+    if not all(isinstance(header.get(field), str)
+               for field in ("artifact", "stage", "version")):
+        return None
+    return content_key(header["artifact"], header["stage"],
+                       header["version"])
+
+
 class ArtifactStore:
     """A persistent content-addressed cache of study artifacts."""
 
@@ -77,17 +166,13 @@ class ArtifactStore:
 
     def key(self, config, stage):
         """The content key of ``(config, stage)`` under this version."""
-        payload = {
-            "artifact": config.artifact_digest(),
-            "stage": stage,
-            "version": self.version,
-        }
-        canonical = json.dumps(payload, sort_keys=True,
-                               separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return content_key(config.artifact_digest(), stage, self.version)
 
     def path_for(self, config, stage):
-        key = self.key(config, stage)
+        return self.blob_path(self.key(config, stage))
+
+    def blob_path(self, key):
+        """Where the raw ``.art`` blob for ``key`` lives under this root."""
         return self.root / key[:2] / f"{key}{_SUFFIX}"
 
     # -- read -----------------------------------------------------------------
@@ -117,25 +202,9 @@ class ArtifactStore:
         return value
 
     def _decode(self, raw, config, stage):
-        buffer = io.BytesIO(raw)
-        if buffer.readline() != _MAGIC:
-            return MISS
-        try:
-            header = json.loads(buffer.readline().decode("utf-8"))
-        except (UnicodeDecodeError, ValueError):
-            return MISS
-        payload = buffer.read()
-        if header.get("sha256") != hashlib.sha256(payload).hexdigest():
-            return MISS
-        expected = {"artifact": config.artifact_digest(), "stage": stage,
-                    "version": self.version}
-        if any(header.get(field) != value
-               for field, value in expected.items()):
-            return MISS
-        try:
-            return pickle.loads(payload)
-        except Exception:
-            return MISS
+        return decode_entry(raw, {"artifact": config.artifact_digest(),
+                                  "stage": stage,
+                                  "version": self.version})
 
     def _miss(self, stage):
         with self._lock:
@@ -168,25 +237,10 @@ class ArtifactStore:
                     self.error_stages.append(stage)
                 obs.incr("store.errors", key=stage)
                 return None
-            header = {
-                "artifact": config.artifact_digest(),
-                "stage": stage,
-                "version": self.version,
-                "sha256": hashlib.sha256(payload).hexdigest(),
-                "size": len(payload),
-            }
-            blob = (_MAGIC
-                    + json.dumps(header, sort_keys=True).encode("utf-8")
-                    + b"\n" + payload)
+            blob = encode_entry(config.artifact_digest(), stage,
+                                self.version, payload)
             path = self.path_for(config, stage)
-            try:
-                path.parent.mkdir(parents=True, exist_ok=True)
-                handle = tempfile.NamedTemporaryFile(
-                    dir=path.parent, prefix=".tmp-", delete=False)
-                with handle:
-                    handle.write(blob)
-                os.replace(handle.name, path)
-            except OSError:
+            if not self._write_blob(path, blob):
                 with self._lock:
                     self.error_stages.append(stage)
                 obs.incr("store.errors", key=stage)
@@ -196,6 +250,41 @@ class ArtifactStore:
             self.written_stages.append(stage)
         obs.incr("store.writes", key=stage)
         return path
+
+    @staticmethod
+    def _write_blob(path, blob):
+        """Atomically write one blob (temp file + rename); False on error."""
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                dir=path.parent, prefix=".tmp-", delete=False)
+            with handle:
+                handle.write(blob)
+            os.replace(handle.name, path)
+        except OSError:
+            return False
+        return True
+
+    # -- raw blob access (the remote-store server side) -----------------------
+
+    def read_raw(self, key):
+        """The raw ``.art`` bytes stored under ``key``, or ``None``."""
+        try:
+            return self.blob_path(key).read_bytes()
+        except OSError:
+            return None
+
+    def write_raw(self, key, raw):
+        """Store an uploaded blob after end-to-end validation.
+
+        The blob must parse, pass its payload checksum, and its header
+        must hash back to exactly ``key`` — a remote client can never
+        plant bytes under a key they do not own.  Returns ``True`` when
+        the blob landed.
+        """
+        if blob_key_of(raw) != key:
+            return False
+        return self._write_blob(self.blob_path(key), raw)
 
     def get_or_compute(self, config, stage, compute):
         """``get``, falling back to ``compute()`` + ``put`` on a miss."""

@@ -1,0 +1,63 @@
+"""Store-backend specs: one JSON dict naming where artifacts live.
+
+A sweep unit runs in whatever process (or machine) claims it, so the
+campaign ledger and every worker payload describe the artifact store as
+a small JSON **spec** instead of a live object:
+
+- ``None`` — no caching;
+- ``{"backend": "local", "dir": <path>}`` — an on-disk
+  :class:`~repro.store.artifact.ArtifactStore`;
+- ``{"backend": "http", "url": <base url>}`` — a
+  :class:`~repro.store.remote.RemoteArtifactStore` client;
+- ``{"backend": "http", "dir": <path>}`` — *self-served*: the fabric
+  coordinator serves the blobs out of ``dir`` itself and resolves the
+  spec to a concrete ``url`` form when handing out leases.  The
+  unresolved form is what the ledger records, because the coordinator's
+  port is ephemeral across runs.
+
+:func:`store_from_spec` is the single factory both the local sweep
+runner and the fabric worker use, so "which backend" is data that
+travels with the campaign — a campaign started locally resumes on the
+cluster (and vice versa) without any code change.
+"""
+
+from repro.store.artifact import ArtifactStore
+from repro.store.remote import RemoteArtifactStore
+
+
+def local_spec(cache_dir):
+    """The spec of an on-disk store rooted at ``cache_dir`` (or ``None``)."""
+    if cache_dir is None:
+        return None
+    return {"backend": "local", "dir": str(cache_dir)}
+
+
+def http_spec(url=None, cache_dir=None):
+    """The spec of a remote store: concrete ``url`` or self-served ``dir``."""
+    if url:
+        return {"backend": "http", "url": str(url).rstrip("/")}
+    if cache_dir is None:
+        raise ValueError("an http store spec needs a url or a cache dir")
+    return {"backend": "http", "dir": str(cache_dir)}
+
+
+def store_from_spec(spec):
+    """Build the store a spec describes; ``None`` for no caching.
+
+    An unresolved self-served spec (``http`` + ``dir``, no ``url``)
+    cannot be dialed from here — the coordinator must resolve it first —
+    so it raises ``ValueError`` rather than silently dropping caching.
+    """
+    if spec is None:
+        return None
+    backend = spec.get("backend", "local")
+    if backend == "local":
+        return ArtifactStore(spec["dir"])
+    if backend == "http":
+        url = spec.get("url")
+        if not url:
+            raise ValueError(
+                "http store spec has no url; a self-served spec must be "
+                "resolved by the coordinator before use")
+        return RemoteArtifactStore(url)
+    raise ValueError(f"unknown store backend {backend!r}")

@@ -54,11 +54,14 @@ class CampaignIndex:
 
     @classmethod
     def create(cls, path, units, stage, cache_dir=None, version=None,
-               clock=time.time):
+               store=None, clock=time.time):
         """Start a fresh ledger for ``units`` (a sequence of unit specs).
 
         ``units`` must be JSON-serializable dicts each carrying a
-        ``"key"`` field (the unit's content digest).
+        ``"key"`` field (the unit's content digest).  ``store`` is an
+        optional store-backend spec (:mod:`repro.store.backend`); when
+        omitted it is derived from ``cache_dir`` so older callers keep
+        their local-store behaviour.
         """
         if version is None:
             from repro import __version__ as version
@@ -75,6 +78,8 @@ class CampaignIndex:
             "completed": {},
             "failed": {},
         }
+        if store is not None:
+            payload["store"] = store
         index = cls(path, payload)
         index.save()
         return index
@@ -125,6 +130,22 @@ class CampaignIndex:
     @property
     def cache_dir(self):
         return self.payload.get("cache_dir")
+
+    @property
+    def store_spec(self):
+        """The campaign's store-backend spec (:mod:`repro.store.backend`).
+
+        Ledgers written before the fabric existed carry only
+        ``cache_dir``; those resolve to the equivalent local spec so a
+        pre-fabric campaign resumes unchanged on either backend.
+        """
+        spec = self.payload.get("store")
+        if spec is not None:
+            return dict(spec)
+        cache_dir = self.cache_dir
+        if cache_dir:
+            return {"backend": "local", "dir": cache_dir}
+        return None
 
     @property
     def units(self):

@@ -1,0 +1,271 @@
+"""The remote artifact-store backend: content-addressed blobs over HTTP.
+
+A sweep campaign sharded across machines cannot share an on-disk
+:class:`~repro.store.artifact.ArtifactStore` root, so the fabric
+coordinator (:mod:`repro.fabric`) serves the store's raw ``.art`` blobs
+over a two-verb HTTP interface and workers talk to it through
+:class:`RemoteArtifactStore`:
+
+- ``GET /blob/<key>`` — the raw blob bytes, 404 when absent;
+- ``PUT /blob/<key>`` — upload one blob; the server re-derives the
+  content key from the blob's own header and rejects any mismatch, so
+  a client can never plant bytes under a key it does not own.
+
+The client mirrors the local store's surface (``key``/``get``/``put``/
+``get_or_compute``/``provenance``) and — crucially — its failure
+discipline: **every defect degrades to a retriable miss, never to wrong
+bytes.**  A truncated response, a checksum mismatch, a version-skewed
+header, an HTTP 5xx, or an unreachable server all count a miss (with a
+taxonomy counter) and the caller recomputes; nothing defective is ever
+admitted to the cache.
+
+A deterministic :class:`BlobCache` LRU fronts the network: hits are
+served from memory without a round trip (a warm worker keeps working
+through a coordinator restart), insertion order + access order fully
+determine eviction order, and only blobs that already passed the
+integrity checks are admitted.
+"""
+
+import pickle
+import threading
+import urllib.error
+import urllib.request
+from collections import OrderedDict
+
+from repro import obs
+from repro.store.artifact import MISS, content_key, decode_entry, \
+    encode_entry
+
+#: default number of verified blobs the client-side LRU holds.
+DEFAULT_CACHE_ENTRIES = 64
+
+
+class StoreUnreachable(RuntimeError):
+    """The remote store's endpoint cannot be reached (one-line message)."""
+
+
+class BlobCache:
+    """A deterministic LRU of verified raw blobs, keyed by content key.
+
+    Eviction is a pure function of the put/get sequence: ``put`` moves
+    (or inserts) the key at the most-recent end, ``get`` refreshes it,
+    and overflow evicts the least-recently-used key.  ``evicted``
+    records the eviction order for tests and provenance.
+    """
+
+    def __init__(self, capacity=DEFAULT_CACHE_ENTRIES):
+        self.capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        #: content keys evicted so far, oldest first.
+        self.evicted = []
+
+    def get(self, key):
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is not None:
+                self._entries.move_to_end(key)
+            return blob
+
+    def put(self, key, blob):
+        with self._lock:
+            self._entries[key] = blob
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self.evicted.append(evicted)
+
+    def discard(self, key):
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def keys(self):
+        """Current keys, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+
+class RemoteArtifactStore:
+    """The HTTP artifact-store client (drop-in for ``ArtifactStore``).
+
+    Speaks the same ``.art`` wire format as the local store — the same
+    magic line, header, and payload SHA-256 — so digests and cache keys
+    are byte-identical across backends, which is what lets a campaign
+    move between ``--store-backend local`` and ``http`` mid-flight.
+    """
+
+    def __init__(self, base_url, version=None,
+                 cache_entries=DEFAULT_CACHE_ENTRIES, timeout=10.0):
+        from repro import __version__
+        self.base_url = str(base_url).rstrip("/")
+        self.version = __version__ if version is None else str(version)
+        self.timeout = timeout
+        self.cache = BlobCache(cache_entries)
+        self._lock = threading.Lock()
+        #: per-run cache traffic, by stage name (for provenance).
+        self.hit_stages = []
+        self.miss_stages = []
+        self.written_stages = []
+        self.error_stages = []
+
+    # -- keying ---------------------------------------------------------------
+
+    def key(self, config, stage):
+        """The content key of ``(config, stage)`` under this version."""
+        return content_key(config.artifact_digest(), stage, self.version)
+
+    def _expected(self, config, stage):
+        return {"artifact": config.artifact_digest(), "stage": stage,
+                "version": self.version}
+
+    def _url(self, key):
+        return f"{self.base_url}/blob/{key}"
+
+    # -- transport ------------------------------------------------------------
+
+    def _fetch(self, key, stage):
+        """GET one blob; ``None`` on any failure (404, 5xx, transport)."""
+        try:
+            with urllib.request.urlopen(self._url(key),
+                                        timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code != 404:
+                obs.incr("store.remote_errors", key=f"get:{exc.code}")
+            return None
+        except OSError:
+            obs.incr("store.remote_errors", key="get:unreachable")
+            return None
+
+    def _upload(self, key, blob):
+        """PUT one blob; ``True`` iff the server accepted it."""
+        request = urllib.request.Request(
+            self._url(key), data=blob, method="PUT",
+            headers={"Content-Type": "application/octet-stream"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return 200 <= response.status < 300
+        except urllib.error.HTTPError as exc:
+            obs.incr("store.remote_errors", key=f"put:{exc.code}")
+            return False
+        except OSError:
+            obs.incr("store.remote_errors", key="put:unreachable")
+            return False
+
+    def ping(self):
+        """Probe the endpoint; raises :class:`StoreUnreachable` if dead."""
+        url = f"{self.base_url}/fabric/ping"
+        try:
+            with urllib.request.urlopen(url, timeout=self.timeout):
+                return True
+        except urllib.error.HTTPError as exc:
+            raise StoreUnreachable(
+                f"store backend {self.base_url} answered "
+                f"HTTP {exc.code} to a ping") from None
+        except OSError as exc:
+            reason = getattr(exc, "reason", None) or exc
+            raise StoreUnreachable(
+                f"store backend {self.base_url} is unreachable: "
+                f"{reason}") from None
+
+    # -- the store surface ----------------------------------------------------
+
+    def get(self, config, stage):
+        """The cached artifact for ``(config, stage)``, or :data:`MISS`.
+
+        LRU first, network second; every defect along the way — missing
+        blob, truncated body, checksum or header mismatch, server error,
+        dead server — is a retriable miss and is never cached.
+        """
+        key = self.key(config, stage)
+        expected = self._expected(config, stage)
+        with obs.span("store.get") as span:
+            blob = self.cache.get(key)
+            if blob is not None:
+                value = decode_entry(blob, expected)
+                if value is not MISS:
+                    obs.incr("store.lru_hits", key=stage)
+                    return self._record_hit(stage, value)
+                self.cache.discard(key)
+            blob = self._fetch(key, stage)
+            if blob is None:
+                return self._miss(stage)
+            value = decode_entry(blob, expected)
+            if value is MISS:
+                obs.incr("store.corrupt", key=stage)
+                return self._miss(stage)
+            span.incr("bytes", len(blob))
+            self.cache.put(key, blob)
+        return self._record_hit(stage, value)
+
+    def _record_hit(self, stage, value):
+        with self._lock:
+            self.hit_stages.append(stage)
+        obs.incr("store.hits", key=stage)
+        return value
+
+    def _miss(self, stage):
+        with self._lock:
+            self.miss_stages.append(stage)
+        obs.incr("store.misses", key=stage)
+        return MISS
+
+    def put(self, config, stage, value):
+        """Cache ``value`` remotely; returns the content key, or ``None``.
+
+        Best-effort like the local store: an unpicklable value, a
+        rejected upload, or a dead server is counted and skipped, never
+        fatal — and a failed upload is *not* admitted to the local LRU,
+        so a later ``get`` retries the network instead of serving a
+        value the rest of the cluster never saw.
+        """
+        with obs.span("store.put") as span:
+            try:
+                payload = pickle.dumps(value,
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                with self._lock:
+                    self.error_stages.append(stage)
+                obs.incr("store.errors", key=stage)
+                return None
+            blob = encode_entry(config.artifact_digest(), stage,
+                                self.version, payload)
+            key = self.key(config, stage)
+            if not self._upload(key, blob):
+                with self._lock:
+                    self.error_stages.append(stage)
+                obs.incr("store.errors", key=stage)
+                return None
+            span.incr("bytes", len(blob))
+            self.cache.put(key, blob)
+        with self._lock:
+            self.written_stages.append(stage)
+        obs.incr("store.writes", key=stage)
+        return key
+
+    def get_or_compute(self, config, stage, compute):
+        """``get``, falling back to ``compute()`` + ``put`` on a miss."""
+        value = self.get(config, stage)
+        if value is MISS:
+            value = compute()
+            self.put(config, stage, value)
+        return value
+
+    def provenance(self):
+        """This run's cache traffic, for the run manifest."""
+        with self._lock:
+            return {
+                "url": self.base_url,
+                "version": self.version,
+                "hits": sorted(self.hit_stages),
+                "misses": sorted(self.miss_stages),
+                "writes": sorted(self.written_stages),
+                "errors": sorted(self.error_stages),
+                "lru_entries": len(self.cache),
+                "lru_evicted": len(self.cache.evicted),
+            }

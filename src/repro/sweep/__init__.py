@@ -16,7 +16,10 @@ anchor:
   process — the GIL caps thread-based sweeps) that records every
   finished unit in the atomic
   :class:`~repro.store.campaign.CampaignIndex` ledger, so killed
-  campaigns resume by re-running only incomplete configs;
+  campaigns resume by re-running only incomplete configs; its
+  ``backend="cluster"`` mode hands the same campaign to a
+  :mod:`repro.fabric` coordinator + spawned fabric workers instead,
+  with byte-identical per-config digests;
 - :mod:`repro.sweep.worker` — the JSON-in/JSON-out per-unit entry point
   every pool worker executes (digests, scalars, invariant verdicts);
 - :mod:`repro.sweep.aggregate` —
@@ -26,20 +29,21 @@ anchor:
   against :mod:`repro.verify.invariants`.
 
 CLI: ``repro sweep run|resume|report`` with
-``--seeds/--workers/--grid/--out``.
+``--seeds/--workers/--grid/--out`` plus
+``--backend {local,cluster}`` / ``--store-backend {local,http}``.
 """
 
 from repro.sweep.aggregate import (SCALAR_BANDS, ScalarStats,
                                    SweepAggregator, SweepReport)
 from repro.sweep.grid import (FAULT_ABLATION, GRID_AXES, STAGES,
                               SweepUnit, expand_grid, parse_grid)
-from repro.sweep.runner import (CampaignResult, SweepRunner,
+from repro.sweep.runner import (BACKENDS, CampaignResult, SweepRunner,
                                 campaign_units)
 from repro.sweep.worker import run_unit
 
 __all__ = [
-    "CampaignResult", "FAULT_ABLATION", "GRID_AXES", "SCALAR_BANDS",
-    "STAGES", "ScalarStats", "SweepAggregator", "SweepReport",
-    "SweepRunner", "SweepUnit", "campaign_units", "expand_grid",
-    "parse_grid", "run_unit",
+    "BACKENDS", "CampaignResult", "FAULT_ABLATION", "GRID_AXES",
+    "SCALAR_BANDS", "STAGES", "ScalarStats", "SweepAggregator",
+    "SweepReport", "SweepRunner", "SweepUnit", "campaign_units",
+    "expand_grid", "parse_grid", "run_unit",
 ]

@@ -31,9 +31,13 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.store.backend import local_spec
 from repro.store.campaign import CampaignIndex, campaign_id_for
 from repro.sweep.grid import SweepUnit
 from repro.sweep.worker import run_unit
+
+#: execution backends ``SweepRunner`` understands.
+BACKENDS = ("local", "cluster")
 
 
 @dataclass
@@ -69,21 +73,40 @@ class SweepRunner:
         cache_dir: optional shared artifact-store root every worker
             warms and reads.
         unit_runner: the per-unit function (tests inject stubs); only
-            honored inline — the pool always runs the real
-            :func:`repro.sweep.worker.run_unit`, which must stay
+            honored inline — the pool and the cluster always run the
+            real :func:`repro.sweep.worker.run_unit`, which must stay
             importable from a spawned process.
         mp_context: ``multiprocessing`` start-method name for the pool.
+        backend: ``local`` (this process / a process pool) or
+            ``cluster`` (a fabric coordinator + spawned fabric worker
+            processes on this host; see :mod:`repro.fabric`).
+        store: optional store-backend spec
+            (:mod:`repro.store.backend`); defaults to a local spec over
+            ``cache_dir``.
+        lease_seconds: cluster lease/heartbeat interval (None: fabric
+            default).
+        worker_jobs: claim threads per cluster worker process — a
+            study's modeled-latency sleeps overlap another thread's
+            compute, so 2 is the sweet spot per core-bound process.
     """
 
     def __init__(self, units=None, index_path=None, workers=1,
                  cache_dir=None, unit_runner=run_unit,
-                 mp_context="spawn"):
+                 mp_context="spawn", backend="local", store=None,
+                 lease_seconds=None, worker_jobs=2):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown sweep backend {backend!r} "
+                             f"(expected one of {BACKENDS})")
         self.units = tuple(units) if units is not None else ()
         self.index_path = index_path
         self.workers = max(1, int(workers))
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.unit_runner = unit_runner
         self.mp_context = mp_context
+        self.backend = backend
+        self.store_spec = store
+        self.lease_seconds = lease_seconds
+        self.worker_jobs = max(1, int(worker_jobs))
 
     # -- ledger handling ------------------------------------------------------
 
@@ -92,11 +115,15 @@ class SweepRunner:
             index = CampaignIndex.load(self.index_path)
             if self.cache_dir is None and index.cache_dir:
                 self.cache_dir = index.cache_dir
+            if self.store_spec is None:
+                self.store_spec = index.store_spec
             return index, [SweepUnit.from_json(spec)
                            for spec in index.units]
         units = list(self.units)
         if not units:
             raise ValueError("a fresh campaign needs at least one unit")
+        if self.store_spec is None:
+            self.store_spec = local_spec(self.cache_dir)
         specs = [unit.to_json() for unit in units]
         keys = [spec["key"] for spec in specs]
         stage = units[0].stage
@@ -108,13 +135,15 @@ class SweepRunner:
             # Same campaign re-run: keep the ledger, skip completed.
             return index, units
         index = CampaignIndex.create(self.index_path, specs, stage,
-                                     cache_dir=self.cache_dir)
+                                     cache_dir=self.cache_dir,
+                                     store=self.store_spec)
         return index, units
 
     # -- execution ------------------------------------------------------------
 
     def _payload(self, unit):
-        return {"unit": unit.to_json(), "cache_dir": self.cache_dir}
+        return {"unit": unit.to_json(), "store": self.store_spec,
+                "cache_dir": self.cache_dir}
 
     def _finish(self, index, outcome, unit, resolve):
         """Record one unit's outcome (result or failure) in the ledger."""
@@ -153,6 +182,70 @@ class SweepRunner:
                     unit = running.pop(future)
                     self._finish(index, outcome, unit, future.result)
 
+    def _run_cluster(self, index, pending, outcome):
+        """One-host cluster: coordinator + spawned fabric workers.
+
+        The coordinator (and, for a self-served http store, the blob
+        store) runs in *this* process over *this* ledger object, so
+        completions land in ``index`` directly; the workers are real
+        spawned processes driving the same HTTP protocol a
+        multi-machine deployment would.
+        """
+        import multiprocessing
+        from repro.fabric.coordinator import FabricCoordinator
+        from repro.fabric.protocol import DEFAULT_LEASE_SECONDS
+        from repro.fabric.server import make_fabric_server
+        from repro.fabric.worker import worker_main
+        from repro.store.artifact import ArtifactStore
+        import threading
+
+        spec = self.store_spec
+        blob_store = None
+        if spec and spec.get("backend") == "http" \
+                and not spec.get("url"):
+            blob_store = ArtifactStore(spec["dir"])
+        coordinator = FabricCoordinator(
+            index, store_spec=spec,
+            lease_seconds=self.lease_seconds or DEFAULT_LEASE_SECONDS)
+        server, _ = make_fabric_server(coordinator,
+                                       blob_store=blob_store)
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        if blob_store is not None:
+            # Resolve the self-served spec now that the port is known.
+            coordinator.store_spec = {"backend": "http", "url": url}
+        serving = threading.Thread(target=server.serve_forever,
+                                   daemon=True)
+        serving.start()
+        context = multiprocessing.get_context(self.mp_context)
+        workers = min(self.workers, len(pending)) or 1
+        processes = [
+            context.Process(
+                target=worker_main, args=(url,),
+                kwargs={"worker_id": f"local-{rank}",
+                        "jobs": self.worker_jobs},
+                daemon=True)
+            for rank in range(workers)]
+        try:
+            for process in processes:
+                process.start()
+            for process in processes:
+                process.join()
+        finally:
+            server.shutdown()
+            server.server_close()
+        before_failed = dict(index.failed)
+        for unit in pending:
+            key = unit.key()
+            if key in index.completed:
+                obs.incr("sweep.completed")
+                outcome.ran.append(unit.name)
+            else:
+                error = before_failed.get(
+                    key, "unit did not complete on the cluster")
+                obs.incr("sweep.failed")
+                outcome.failed.append((unit.name, error))
+
     def run(self, resume=False):
         """Execute (or resume) the campaign; returns a :class:`CampaignResult`.
 
@@ -162,6 +255,12 @@ class SweepRunner:
         """
         with obs.span("sweep.campaign") as span:
             index, units = self._open_index(resume)
+            if self.backend == "local" and self.store_spec \
+                    and self.store_spec.get("backend") == "http" \
+                    and not self.store_spec.get("url"):
+                raise ValueError(
+                    "a self-served http store needs the cluster "
+                    "backend (or an explicit store url)")
             outcome = CampaignResult(index=index)
             completed = index.completed
             pending = [unit for unit in units
@@ -173,7 +272,9 @@ class SweepRunner:
             span.incr("units", len(units))
             span.incr("pending", len(pending))
             if pending:
-                if self.workers == 1:
+                if self.backend == "cluster":
+                    self._run_cluster(index, pending, outcome)
+                elif self.workers == 1:
                     self._run_inline(index, pending, outcome)
                 else:
                     self._run_pooled(index, pending, outcome)
@@ -185,5 +286,5 @@ def campaign_units(index):
     return [SweepUnit.from_json(spec) for spec in index.units]
 
 
-__all__ = ["CampaignResult", "SweepRunner", "campaign_id_for",
-           "campaign_units"]
+__all__ = ["BACKENDS", "CampaignResult", "SweepRunner",
+           "campaign_id_for", "campaign_units"]

@@ -12,8 +12,10 @@ over unit specs.  It is deliberately top-level and JSON-in/JSON-out:
 
 Each worker builds its own :class:`~repro.study.Study` (never the
 memoized ``get_study`` — fault-injected units must not pollute a shared
-memo), attaches the campaign's shared
-:class:`~repro.store.artifact.ArtifactStore` when one is configured
+memo), attaches the campaign's shared artifact store when one is
+configured — local directory or remote HTTP backend, resolved from the
+payload's store-backend spec by
+:func:`repro.store.backend.store_from_spec`
 (warming it for every later unit and re-run), and runs under its own
 :class:`repro.obs.Observability` context so per-config stage timings
 travel back in the result payload instead of vanishing inside the
@@ -31,7 +33,7 @@ import json
 import time
 
 from repro import obs
-from repro.store.artifact import ArtifactStore
+from repro.store.backend import store_from_spec
 from repro.study import Study
 from repro.sweep.grid import SweepUnit
 from repro.verify.baseline import VOLATILE_NODES
@@ -105,14 +107,17 @@ def run_unit(payload):
     from repro.core.pipeline import run_full_study
     from repro.verify.invariants import invariant_summary
     unit = SweepUnit.from_json(payload["unit"])
-    cache_dir = payload.get("cache_dir")
+    store_spec = payload.get("store")
+    if store_spec is None and payload.get("cache_dir"):
+        # Legacy payload shape: a bare cache directory is a local store.
+        store_spec = {"backend": "local", "dir": payload["cache_dir"]}
     config = unit.study_config()
     started = time.perf_counter()
     ctx = obs.Observability()
     previous = obs.activate(ctx)
     try:
         study = Study(config)
-        store = ArtifactStore(cache_dir) if cache_dir else None
+        store = store_from_spec(store_spec)
         if store is not None:
             study.attach_store(store)
         if unit.fault_rates or unit.time_scale > 0.0:

@@ -48,6 +48,11 @@ class ExecutionMode:
             under (``"exact"`` or ``"sketch"``) — the proof obligation
             that sketch-pruned candidate generation never changes a
             result.
+        backend: ``"inline"`` runs the pipeline in this process;
+            ``"cluster"`` runs it as a one-unit campaign through a real
+            :mod:`repro.fabric` coordinator + HTTP server + fabric
+            worker — the proof obligation that the distributed path
+            produces byte-identical per-node digests.
     """
 
     name: str
@@ -57,6 +62,7 @@ class ExecutionMode:
     retries: int = None
     trust_stores: tuple = None
     match_mode: str = "exact"
+    backend: str = "inline"
 
 
 def default_modes(parallel_jobs=4):
@@ -73,6 +79,7 @@ def default_modes(parallel_jobs=4):
         ExecutionMode("stores-permuted",
                       trust_stores=tuple(reversed(MAJOR_STORES))),
         ExecutionMode("sketch", match_mode="sketch"),
+        ExecutionMode("cluster", backend="cluster"),
     )
 
 
@@ -187,10 +194,53 @@ class EquivalenceMatrix:
             return None
         return ArtifactStore(root)
 
+    def _run_cluster_mode(self, mode, config, workdir):
+        """One-unit campaign through a real coordinator + fabric worker.
+
+        The worker is a thread (digests cannot depend on the process
+        model — that is the point), but every byte still crosses the
+        HTTP lease protocol and comes back through the campaign
+        ledger, exactly as a multi-machine run would.
+        """
+        import threading
+        from repro.fabric import FabricCoordinator, FabricWorker, \
+            make_fabric_server
+        from repro.store.campaign import CampaignIndex
+        from repro.sweep.grid import SweepUnit
+        unit = SweepUnit(name=mode.name, seed=config.seed,
+                         retries=config.retry.max_attempts,
+                         trust_stores=config.trust_stores,
+                         fault_rates=mode.fault_rates)
+        index = CampaignIndex.create(
+            f"{workdir}/{mode.name}-campaign.json", [unit.to_json()],
+            unit.stage)
+        coordinator = FabricCoordinator(index)
+        server, _ = make_fabric_server(coordinator)
+        host, port = server.server_address[:2]
+        serving = threading.Thread(target=server.serve_forever,
+                                   daemon=True)
+        serving.start()
+        try:
+            worker = FabricWorker(f"http://{host}:{port}",
+                                  worker_id=f"matrix-{mode.name}")
+            worker.run()
+        finally:
+            server.shutdown()
+            server.server_close()
+        result = index.completed.get(unit.key())
+        if result is None:
+            raise RuntimeError(
+                f"cluster mode {mode.name!r} completed no unit: "
+                f"{index.failed or 'no result recorded'}")
+        return ModeResult(mode=mode,
+                          node_digests=dict(result["node_digests"]))
+
     def run_mode(self, mode, workdir):
         """Execute one mode; returns its :class:`ModeResult`."""
         from repro.match import engine_mode
         config = self._mode_config(mode)
+        if mode.backend == "cluster":
+            return self._run_cluster_mode(mode, config, workdir)
         store = self._mode_store(mode, f"{workdir}/{mode.name}")
         with engine_mode(mode.match_mode):
             if mode.cache == "warm":

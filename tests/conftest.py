@@ -10,10 +10,26 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.inspector.dataset import InspectorDataset
 from repro.inspector.model import ClientHelloRecord
 from repro.study import get_study
 from repro.tlslib.versions import TLSVersion
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Restore the process-global obs context after every test.
+
+    Server boot paths (``serve_study``, ``make_fabric_server``,
+    ``FabricWorker.run``) call ``obs.ensure_enabled()``, which installs
+    an enabled context with no scope to restore — without this fixture
+    the first test that boots a server flips observability on for every
+    test that runs after it.
+    """
+    previous = obs.current()
+    yield
+    obs.deactivate(previous)
 
 
 @pytest.fixture(scope="session")

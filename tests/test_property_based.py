@@ -220,3 +220,96 @@ class TestDoCProperties:
             assert 0.0 <= doc_vendor(ds, vendor) <= 1.0
         for device in ds.device_ids():
             assert 0.0 <= doc_device(ds, device) <= 1.0
+
+
+class TestFabricLeaseProperties:
+    """The fabric scheduling invariant, under adversarial schedules.
+
+    Random grids, worker counts, and interleavings of complete / fail /
+    abandon (a lease left to expire, i.e. a dead worker) — followed by
+    a coordinator restart from the persisted ledger — must always end
+    with every expanded unit completed exactly once: no duplicates in
+    the ledger, no lost units, no unit accepted twice.
+    """
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_every_unit_completes_exactly_once_across_resume(self,
+                                                             data):
+        import tempfile
+        from collections import Counter
+        from pathlib import Path
+
+        from repro.config import StudyConfig
+        from repro.fabric import FabricCoordinator
+        from repro.store.campaign import CampaignIndex
+        from repro.sweep import expand_grid
+
+        seeds = data.draw(st.integers(1, 3), label="seeds")
+        grid = data.draw(st.sampled_from(
+            (("seeds",), ("seeds", "stores"), ("seeds", "faults"))),
+            label="grid")
+        workers = data.draw(st.integers(1, 4), label="workers")
+        units = expand_grid(StudyConfig(), seeds=seeds, grid=grid,
+                            stage="probe")
+        specs = [unit.to_json() for unit in units]
+        all_keys = {spec["key"] for spec in specs}
+
+        class Clock:
+            now = 1000.0
+
+            def __call__(self):
+                return Clock.now
+
+        accepted = Counter()
+
+        def finish(coordinator, lease):
+            reply = coordinator.complete(
+                lease["lease"],
+                {"name": lease["unit"]["name"],
+                 "key": lease["unit"]["key"], "ok": True})
+            if not reply["duplicate"]:
+                accepted[lease["unit"]["key"]] += 1
+
+        with tempfile.TemporaryDirectory() as root:
+            path = Path(root) / "campaign.json"
+            index = CampaignIndex.create(path, specs, "probe")
+            first = FabricCoordinator(index, lease_seconds=10.0,
+                                      max_attempts=100, clock=Clock())
+            # Phase 1: an adversarial partial run, then a hard stop.
+            steps = data.draw(st.integers(0, 2 * len(specs)),
+                              label="phase1_steps")
+            for _ in range(steps):
+                who = f"w{data.draw(st.integers(0, workers - 1))}"
+                lease = first.lease(who)
+                if lease["unit"] is None:
+                    if lease["done"]:
+                        break
+                    Clock.now += 11.0  # let abandoned leases lapse
+                    continue
+                outcome = data.draw(st.sampled_from(
+                    ("complete", "abandon", "fail")), label="outcome")
+                if outcome == "complete":
+                    finish(first, lease)
+                elif outcome == "fail":
+                    first.fail(lease["lease"], "injected failure")
+                else:
+                    Clock.now += 10.5  # the worker dies mid-unit
+
+            # Phase 2: restart from the persisted ledger and drain.
+            resumed_index = CampaignIndex.load(path)
+            resumed = FabricCoordinator(resumed_index,
+                                        lease_seconds=10.0,
+                                        max_attempts=100, clock=Clock())
+            for _ in range(4 * len(specs) + 4):
+                lease = resumed.lease("resumer")
+                if lease["unit"] is None:
+                    assert lease["done"]
+                    break
+                finish(resumed, lease)
+
+            assert set(resumed_index.completed) == all_keys  # none lost
+            assert not resumed_index.failed  # retries cleared them all
+            assert accepted == Counter({key: 1 for key in all_keys})
+            assert resumed.done()

@@ -67,6 +67,12 @@ BENCHES = {
         "metric": "speedup",
         "kind": "ratio",
     },
+    "fabric": {
+        "script": "benchmarks/bench_fabric.py",
+        "baseline": "BENCH_fabric.json",
+        "metric": "speedup",
+        "kind": "ratio",
+    },
 }
 
 
@@ -122,7 +128,7 @@ def main(argv=None):
                         choices=sorted(BENCHES), default=None,
                         help="gate only these benchmarks (repeatable; "
                              "default: probe, store, obs, serve, "
-                             "match)")
+                             "match, fabric)")
     parser.add_argument("--tolerance", type=float, default=0.3,
                         help="allowed fractional regression for ratio "
                              "metrics (default %(default)s)")
@@ -138,7 +144,8 @@ def main(argv=None):
     # serve's headline is an absolute throughput (machine-dependent,
     # unlike the self-relative speedup ratios), so it defaults to a
     # looser floor; --override serve=... still wins.
-    names = args.benches or ["probe", "store", "obs", "serve", "match"]
+    names = args.benches or ["probe", "store", "obs", "serve", "match",
+                             "fabric"]
     args.override = [f"serve={max(0.7, args.tolerance)}"] \
         + args.override
     overrides = parse_overrides(args.override)
