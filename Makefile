@@ -7,7 +7,8 @@ PYTHON ?= python
 
 .PHONY: install test lint check verify bench bench-probe bench-obs \
         bench-store bench-sweep bench-serve bench-match bench-fabric \
-        bench-gate serve sweep report figures examples clean
+        bench-ml bench-gate coverage serve sweep report figures \
+        examples clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -82,11 +83,20 @@ bench-fabric:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_fabric.py \
 	    -o BENCH_fabric.json
 
+bench-ml:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ml.py \
+	    -o BENCH_ml.json
+
 # Re-run the gated benchmarks and compare against committed BENCH_*.json
 # (the CI bench-regression job).
 bench-gate:
 	$(PYTHON) tools/bench_gate.py --override store=0.5 \
 	    --override match=0.4
+
+# Line coverage over src/repro (CI's coverage job; needs pytest-cov).
+coverage:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ --cov=src/repro \
+	    --cov-report=term --cov-report=html --cov-fail-under=70
 
 # Stream-ingest the capture and serve the query API (checkpoints into
 # the local cache so a restarted server resumes).
@@ -117,5 +127,6 @@ clean:
 	       figure_data capture.jsonl certificates.jsonl BENCH_probe.json \
 	       BENCH_obs.json BENCH_store.json BENCH_sweep.json \
 	       BENCH_serve.json BENCH_match.json BENCH_fabric.json \
+	       BENCH_ml.json ml_model.json ml_eval.json htmlcov .coverage \
 	       trace.jsonl *.manifest.json .repro-cache sweep_out \
 	       fabric_out bench_fresh

@@ -1,0 +1,112 @@
+"""Learned-attribution benchmark: coverage gain over exact matching.
+
+Trains the :mod:`repro.ml` attribution pipeline on the real study and
+measures the headline **coverage gain** — the fraction of unmatched
+fingerprints the learned model attributes at the confidence threshold,
+divided by the paper's exact-match rate (~2.9% at the default seed).
+The gate number in ``BENCH_ml.json`` is this ratio: the whole point of
+the learned stage is to reach far past exact matching, so a regression
+here means the model stopped earning its keep.
+
+Because training is deterministic (seeded hashing, fixed iterations,
+rounded parameters — see DESIGN.md section 5l), every quality number in
+the payload is bit-stable across runs on the same config; only the
+``train_seconds`` / ``eval_seconds`` wall-clock fields vary.  The run
+fails loudly (exit 1) if two back-to-back evaluations disagree on the
+eval digest — the determinism contract is part of the benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ml.py \
+        [--target family] [--threshold 0.6] [-o BENCH_ml.json]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.ml import (DEFAULT_THRESHOLD, MLParams, eval_digest,
+                      evaluate_model, train_attribution)
+from repro.study import get_study
+
+
+def run_eval(study, params):
+    """(eval payload, train+eval seconds) for one fresh evaluation.
+
+    Bypasses the per-process eval memo deliberately — the benchmark's
+    determinism check needs two genuinely independent training runs.
+    """
+    started = time.perf_counter()
+    model = train_attribution(study.dataset, study.corpus, study.world,
+                              study.config, params=params)
+    payload = evaluate_model(model, study.dataset, study.corpus,
+                             study.world, study.config)
+    return payload, time.perf_counter() - started
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--target", default="family",
+                        choices=("family", "vendor"),
+                        help="attribution label space "
+                             "(default %(default)s)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="attribution confidence floor "
+                             "(default %(default)s)")
+    parser.add_argument("-o", "--output", default="BENCH_ml.json")
+    args = parser.parse_args(argv)
+
+    study = get_study()
+    params = MLParams(target=args.target, threshold=args.threshold)
+    print(f"training {args.target} attribution on seed "
+          f"{study.config.seed}...")
+
+    payload, seconds = run_eval(study, params)
+    digest_first = eval_digest(payload)
+    repeat, repeat_seconds = run_eval(study, params)
+    digest_second = eval_digest(repeat)
+    deterministic = digest_first == digest_second
+
+    coverage = payload["coverage"]
+    exact_rate = payload["exact_match_rate"]
+    gain = round(coverage["attribution_coverage"] / exact_rate, 2) \
+        if exact_rate else 0.0
+    print(f"  macro-F1 {payload['macro']['f1']:.4f}   "
+          f"accuracy {payload['accuracy']:.4f}   "
+          f"coverage {coverage['attribution_coverage']:.4f}")
+    print(f"  coverage gain {gain:.1f}x over exact-match rate "
+          f"{exact_rate:.4f} ({seconds:.1f}s)")
+    if not deterministic:
+        print(f"FATAL: eval digests diverged across runs "
+              f"({digest_first[:16]} vs {digest_second[:16]})",
+              file=sys.stderr)
+
+    out = {
+        "seed": study.config.seed,
+        "target": args.target,
+        "threshold": args.threshold,
+        "examples": payload["examples"],
+        "classes": len(payload["classes"]),
+        "macro_f1": payload["macro"]["f1"],
+        "accuracy": payload["accuracy"],
+        "nb_accuracy": payload["baseline_nb"]["accuracy"],
+        "attribution_coverage": coverage["attribution_coverage"],
+        "exact_match_rate": exact_rate,
+        "coverage_gain": gain,
+        "eval_digest": digest_first,
+        "deterministic": deterministic,
+        "train_seconds": round(seconds, 3),
+        "repeat_seconds": round(repeat_seconds, 3),
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"wrote {path} (headline coverage gain {gain:.1f}x)")
+    return 0 if deterministic else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,10 +33,17 @@ Commands:
   the corpus + vendor similarity indexes, write the stats JSON),
   ``query`` (exact near-match libraries for one fingerprint id, sketch
   candidate pruning optional), ``stats`` (engine and index parameters);
+- ``ml``        learned fingerprint attribution (``repro.ml``):
+  ``train`` the seeded pure-numpy naive-Bayes + logistic-regression
+  bundle on the generator's ground-truth labels, ``eval`` it into a
+  canonical digest-checkable report (optionally against an external
+  labeled capture via ``--input``), ``predict`` the exact-match-
+  unmatched 97.45% with per-fingerprint confidences;
 - ``verify``    differential conformance: ``record``/``check`` golden
   baselines, run the execution-mode equivalence ``matrix`` (including
   the ``sketch`` matching mode), evaluate the paper ``invariants``,
-  prove ``streaming`` == batch;
+  prove ``streaming`` == batch, digest-check the deterministic ``ml``
+  eval report against its committed baseline;
 - ``sweep``     process-parallel multi-config campaigns: ``run`` a seed
   grid (plus trust-store / fault-rate ablations) across worker
   processes — or across a one-host cluster with ``--backend cluster``
@@ -90,6 +97,13 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 #: the committed golden baseline `repro verify check` compares against.
 DEFAULT_BASELINE = "conformance/baseline.json"
+
+#: the committed ML eval-report baseline `repro verify ml` checks.
+DEFAULT_ML_BASELINE = "conformance/ml_baseline.json"
+
+#: default paths for the `repro ml` model and eval-report artifacts.
+DEFAULT_ML_MODEL = "ml_model.json"
+DEFAULT_ML_REPORT = "ml_eval.json"
 
 
 def _add_config(parser):
@@ -554,6 +568,199 @@ def cmd_verify_streaming(args):
     print(report.render())
     _write_verify_report(args, report.to_json())
     return 0 if report.ok else 1
+
+
+def cmd_verify_ml(args):
+    from repro.ml import (check_ml_baseline, eval_digest,
+                          evaluate_study, record_ml_baseline)
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    payload = evaluate_study(study)
+    if args.record:
+        with obs.span("cli.write_output"):
+            path = record_ml_baseline(payload, args.baseline)
+        args.artifacts.append(path)
+        print(f"recorded ml eval baseline (digest "
+              f"{eval_digest(payload)[:16]}..., macro-F1 "
+              f"{payload['macro']['f1']:.4f}) to {path}")
+        return 0
+    try:
+        report = check_ml_baseline(payload, args.baseline)
+    except FileNotFoundError:
+        print(f"verify ml: baseline not found: {args.baseline} "
+              f"(record one with `repro verify ml --record`)",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"verify ml: {exc}", file=sys.stderr)
+        return 2
+    if report["ok"]:
+        print(f"ml eval digest matches baseline "
+              f"({report['actual_digest'][:16]}..., macro-F1 "
+              f"{payload['macro']['f1']:.4f})")
+    else:
+        print("ml eval digest DIVERGES from baseline:")
+        print(f"  expected {report['expected_digest']}")
+        print(f"  actual   {report['actual_digest']}")
+        if "note" in report:
+            print(f"  note: {report['note']}")
+        if "first_divergence" in report:
+            where, detail = report["first_divergence"]
+            print(f"  first divergence at {where}: {detail}")
+    _write_verify_report(args, report)
+    return 0 if report["ok"] else 1
+
+
+def _ml_params_from_args(args):
+    """An :class:`repro.ml.MLParams` from the train flags (lazy import)."""
+    from repro.ml import MLParams
+    overrides = {name: value for name, value in (
+        ("target", getattr(args, "target", None)),
+        ("width", getattr(args, "width", None)),
+        ("iters", getattr(args, "iters", None)),
+        ("test_fraction", getattr(args, "test_fraction", None)),
+    ) if value is not None}
+    return MLParams(**overrides)
+
+
+def _ml_threshold_or_status(args, command):
+    """Validated --threshold (``None`` defers to the model's default)."""
+    threshold = getattr(args, "threshold", None)
+    if threshold is not None and not 0.0 <= threshold <= 1.0:
+        print(f"{command}: --threshold must be within [0.0, 1.0], "
+              f"got {threshold}", file=sys.stderr)
+        return None, 2
+    return threshold, 0
+
+
+def _ml_model_or_status(args, command):
+    """The model file --model names, or an exit-2 one-line error."""
+    from repro.ml import AttributionModel
+    try:
+        return AttributionModel.load(args.model), 0
+    except FileNotFoundError:
+        print(f"{command}: model file not found: {args.model} "
+              f"(run `repro ml train` first)", file=sys.stderr)
+        return None, 2
+    except ValueError as exc:
+        print(f"{command}: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def cmd_ml_train(args):
+    from repro.ml import train_study
+    try:
+        params = _ml_params_from_args(args)
+    except ValueError as exc:
+        print(f"ml train: {exc}", file=sys.stderr)
+        return 2
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    try:
+        model = train_study(study, params=params)
+    except ValueError as exc:
+        print(f"ml train: {exc}", file=sys.stderr)
+        return 2
+    with obs.span("cli.write_output"):
+        model.save(args.output)
+    args.artifacts.append(args.output)
+    print(f"trained {params.target} attribution on "
+          f"{model.counts['train']} fingerprints "
+          f"({len(model.classes)} classes, {params.iters} fixed "
+          f"iterations); wrote {args.output}")
+    return 0
+
+
+def _ml_eval_capture(args, model, threshold):
+    """Eval on an external labeled capture; ``(payload, status)``."""
+    from repro.ml import evaluate_capture
+    try:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            rows = [json.loads(line) for line in handle
+                    if line.strip()]
+    except FileNotFoundError:
+        print(f"ml eval: input file not found: {args.input}",
+              file=sys.stderr)
+        return None, 2
+    except json.JSONDecodeError as exc:
+        print(f"ml eval: {args.input} is not JSONL ({exc})",
+              file=sys.stderr)
+        return None, 2
+    try:
+        return evaluate_capture(model, rows, threshold=threshold), 0
+    except ValueError as exc:
+        print(f"ml eval: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def cmd_ml_eval(args):
+    from repro.ml import (canonical_report_text, evaluate_model,
+                          render_eval)
+    threshold, status = _ml_threshold_or_status(args, "ml eval")
+    if status:
+        return status
+    model, status = _ml_model_or_status(args, "ml eval")
+    if model is None:
+        return status
+    if args.input:
+        payload, status = _ml_eval_capture(args, model, threshold)
+        if payload is None:
+            return status
+        print(f"capture eval: {payload['records']} records, "
+              f"{payload['fingerprints']} fingerprints; accuracy "
+              f"{payload['accuracy']:.4f} on {payload['known']} "
+              f"known-class fingerprints, {payload['attributed']} "
+              f"attributed at confidence >= {payload['threshold']}")
+    else:
+        study, status = _study_or_status(args)
+        if study is None:
+            return status
+        payload = evaluate_model(model, study.dataset, study.corpus,
+                                 study.world, study.config,
+                                 threshold=threshold)
+        print(render_eval(payload))
+    with obs.span("cli.write_output"):
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(canonical_report_text(payload))
+    args.artifacts.append(args.report)
+    print(f"wrote canonical eval report to {args.report}")
+    return 0
+
+
+def cmd_ml_predict(args):
+    from repro.ml import labeled_examples
+    threshold, status = _ml_threshold_or_status(args, "ml predict")
+    if status:
+        return status
+    model, status = _ml_model_or_status(args, "ml predict")
+    if model is None:
+        return status
+    study, status = _study_or_status(args)
+    if study is None:
+        return status
+    _, unmatched = labeled_examples(study.dataset, study.corpus,
+                                    study.world,
+                                    target=model.params.target)
+    rows = model.predict_rows(list(unmatched), threshold=threshold)
+    if args.output:
+        with obs.span("cli.write_output"):
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump({"rows": rows}, handle, indent=1,
+                          sort_keys=True)
+                handle.write("\n")
+        args.artifacts.append(args.output)
+        print(f"wrote {len(rows)} prediction rows to {args.output}")
+    for row in rows[:args.limit]:
+        mark = "*" if row["attributed"] else " "
+        print(f"{mark} {row['fingerprint']}  {row['label']:<16s} "
+              f"confidence={row['confidence']:.4f} "
+              f"(nb: {row['nb_label']})")
+    attributed = sum(1 for row in rows if row["attributed"])
+    print(f"attributed {attributed}/{len(rows)} unmatched "
+          f"fingerprints ({model.params.target} target)")
+    return 0
 
 
 def _sweep_cache_root(args):
@@ -1025,6 +1232,76 @@ def build_parser():
         "engine parameters and corpus/vendor index statistics",
         cmd_match_stats)
 
+    p_ml = sub.add_parser(
+        "ml",
+        help="learned fingerprint attribution: train/eval/predict "
+             "seeded pure-numpy classifiers over the labeled "
+             "synthetic world")
+    ml_sub = p_ml.add_subparsers(dest="ml_command", required=True)
+    p_mltrain = ml_sub.add_parser(
+        "train", help="train the naive-Bayes + logistic-regression "
+                      "bundle, write the JSON model file")
+    _add_config(p_mltrain)
+    _add_cache(p_mltrain)
+    p_mltrain.add_argument("--target", choices=("family", "vendor"),
+                           default=None,
+                           help="prediction target (default family)")
+    p_mltrain.add_argument("--width", type=int, default=None,
+                           help="hashed feature-space width "
+                                "(default 1024)")
+    p_mltrain.add_argument("--iters", type=int, default=None,
+                           help="fixed gradient-descent iteration "
+                                "count (default 2000)")
+    p_mltrain.add_argument("--test-fraction", type=float, default=None,
+                           dest="test_fraction",
+                           help="held-out fraction per class "
+                                "(default 0.3)")
+    p_mltrain.add_argument("-o", "--output", default=DEFAULT_ML_MODEL,
+                           help="model file (default %(default)s)")
+    _add_obs(p_mltrain)
+    p_mltrain.set_defaults(func=cmd_ml_train)
+    p_mleval = ml_sub.add_parser(
+        "eval", help="evaluate a trained model, write the canonical "
+                     "eval report (digest-checkable by `repro verify "
+                     "ml`)")
+    _add_config(p_mleval)
+    _add_cache(p_mleval)
+    p_mleval.add_argument("--model", default=DEFAULT_ML_MODEL,
+                          help="trained model file "
+                               "(default %(default)s)")
+    p_mleval.add_argument("--threshold", type=float, default=None,
+                          help="attribution confidence floor in "
+                               "[0, 1] (default: the model's)")
+    p_mleval.add_argument("--input", metavar="PATH", default=None,
+                          help="evaluate on an external labeled "
+                               "capture (JSONL rows with vendor "
+                               "labels) instead of the study world")
+    p_mleval.add_argument("--report", metavar="PATH",
+                          default=DEFAULT_ML_REPORT,
+                          help="canonical eval report path "
+                               "(default %(default)s)")
+    _add_obs(p_mleval)
+    p_mleval.set_defaults(func=cmd_ml_eval)
+    p_mlpredict = ml_sub.add_parser(
+        "predict", help="attribute the exact-match-unmatched "
+                        "fingerprints with a trained model")
+    _add_config(p_mlpredict)
+    _add_cache(p_mlpredict)
+    p_mlpredict.add_argument("--model", default=DEFAULT_ML_MODEL,
+                             help="trained model file "
+                                  "(default %(default)s)")
+    p_mlpredict.add_argument("--threshold", type=float, default=None,
+                             help="attribution confidence floor in "
+                                  "[0, 1] (default: the model's)")
+    p_mlpredict.add_argument("--limit", type=int, default=20,
+                             help="prediction rows to print "
+                                  "(default %(default)s)")
+    p_mlpredict.add_argument("-o", "--output", default=None,
+                             help="also write every prediction row "
+                                  "as JSON to PATH")
+    _add_obs(p_mlpredict)
+    p_mlpredict.set_defaults(func=cmd_ml_predict)
+
     p_verify = sub.add_parser(
         "verify",
         help="differential conformance: golden baselines, equivalence "
@@ -1085,6 +1362,22 @@ def build_parser():
                                 "to PATH")
     _add_obs(p_vstream)
     p_vstream.set_defaults(func=cmd_verify_streaming)
+    p_vml = verify_sub.add_parser(
+        "ml",
+        help="re-train the attribution model and digest-check its "
+             "canonical eval report against the committed baseline")
+    _add_config(p_vml)
+    _add_cache(p_vml)
+    p_vml.add_argument("--baseline", metavar="PATH",
+                       default=DEFAULT_ML_BASELINE,
+                       help="ml baseline file (default %(default)s)")
+    p_vml.add_argument("--record", action="store_true",
+                       help="record the baseline instead of checking")
+    p_vml.add_argument("--report", metavar="PATH", default=None,
+                       help="also write the digest-check report as "
+                            "JSON to PATH")
+    _add_obs(p_vml)
+    p_vml.set_defaults(func=cmd_verify_ml)
 
     p_sweep = sub.add_parser(
         "sweep",
@@ -1107,7 +1400,7 @@ def build_parser():
     p_srun.add_argument("--grid", metavar="AXES", default="seeds",
                         help="comma-separated grid axes from "
                              "seeds,stores,faults (default %(default)s)")
-    p_srun.add_argument("--stage", choices=("full", "probe"),
+    p_srun.add_argument("--stage", choices=("full", "probe", "ml"),
                         default="full",
                         help="run the full pipeline or stop after "
                              "probing (default %(default)s)")
@@ -1169,7 +1462,7 @@ def build_parser():
                           help="comma-separated grid axes from "
                                "seeds,stores,faults "
                                "(default %(default)s)")
-    p_fserve.add_argument("--stage", choices=("full", "probe"),
+    p_fserve.add_argument("--stage", choices=("full", "probe", "ml"),
                           default="full",
                           help="run the full pipeline or stop after "
                                "probing (default %(default)s)")

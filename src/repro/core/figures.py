@@ -82,6 +82,24 @@ def figure11_data(dataset):
             in lowest_vulnerable_index(dataset).items()}
 
 
+def figure_ml_data(study):
+    """Learned attribution (beyond the paper) — confusion + coverage.
+
+    Derived from the memoized ``repro.ml`` eval payload, so exporting
+    figures after a report run retrains nothing.  Lazy import keeps
+    numpy optional for every paper figure.
+    """
+    from repro.ml import evaluate_study
+    payload = evaluate_study(study)
+    return {"classes": payload["classes"],
+            "confusion": payload["confusion"],
+            "per_class": payload["per_class"],
+            "accuracy": payload["accuracy"],
+            "macro": payload["macro"],
+            "exact_match_rate": payload["exact_match_rate"],
+            "coverage": payload["coverage"]}
+
+
 def figure5_data(dataset, certificates, ecosystem):
     """Figure 5 — the issuer × vendor ratio matrix."""
     report = issuer_report(dataset, certificates, ecosystem)
@@ -125,6 +143,7 @@ def figure_payloads(study):
         "figure9": figure9_data(dataset),
         "figure10": figure10_data(dataset),
         "figure11": figure11_data(dataset),
+        "figure_ml": figure_ml_data(study),
     }
 
 

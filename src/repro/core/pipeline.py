@@ -45,6 +45,21 @@ from repro.inspector.timeline import PROBE_TIME
 from repro.match import shared_engine
 from repro.store.scheduler import AnalysisScheduler, AnalysisSpec
 
+
+def _ml_attribution(resources):
+    """Learned-attribution eval payload (ROADMAP item 4).
+
+    Deferred import: ``repro.ml`` pulls in numpy, which ``import
+    repro`` (and every stdlib-only pipeline node) must not.  Training
+    is memoized per config inside ``repro.ml``, so the node, the
+    figure exporter, and the CLI share one run per process.
+    """
+    from repro.ml import evaluate_components
+    return evaluate_components(resources["dataset"],
+                               resources["corpus"],
+                               resources["world"],
+                               resources["config"])
+
 #: Section 4 + Appendix B (client-side) analyses, in paper order.
 #: Matching/similarity nodes run on the process
 #: :class:`~repro.match.MatchEngine` — exact by default, pruned under
@@ -106,6 +121,10 @@ CLIENT_ANALYSES = (
     AnalysisSpec(
         "preferred_components", inputs=("dataset",),
         fn=lambda r: preferences.preferred_components(r["dataset"])),
+    AnalysisSpec(
+        "ml_attribution",
+        inputs=("dataset", "corpus", "world", "config"),
+        fn=_ml_attribution),
 )
 
 #: Section 5 + Appendix C (server-side) analyses.  ``survey`` is itself
@@ -195,6 +214,8 @@ def run_client_side(study, jobs=None, store=None, node_observer=None):
         results = scheduler.run({
             "dataset": lambda: study.dataset,
             "corpus": lambda: study.corpus,
+            "world": lambda: study.world,
+            "config": lambda: study.config,
         })
         side_span.incr("analyses", len(results))
     return results

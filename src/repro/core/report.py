@@ -75,6 +75,34 @@ def _section_client(client):
     parts.append(_md_table(
         ["version", "proposals"],
         [[version.pretty, count] for version, count in versions.items()]))
+    ml = client.get("ml_attribution")
+    if ml:
+        coverage = ml["coverage"]
+        parts.append("\n### Learned attribution (beyond the paper)\n")
+        parts.append(
+            f"- ground truth from the generator labels "
+            f"**{ml['examples']['labeled']}** fingerprints "
+            f"({ml['examples']['train']} train / "
+            f"{ml['examples']['test']} held-out); exact matching "
+            f"covers only {percent(ml['exact_match_rate'])}.\n"
+            f"- one-vs-rest logistic regression "
+            f"({ml['params']['iters']} fixed iterations): held-out "
+            f"accuracy **{percent(ml['accuracy'])}**, macro-F1 "
+            f"**{ml['macro']['f1']:.3f}** (naive Bayes baseline "
+            f"{ml['baseline_nb']['macro_f1']:.3f}).\n"
+            f"- attribution coverage at confidence ≥ "
+            f"{coverage['threshold']}: "
+            f"**{percent(coverage['attribution_coverage'])}** of "
+            f"{coverage['unmatched']} unmatched fingerprints — "
+            f"{coverage['coverage_gain']:.1f}x the exact-match rate, "
+            f"at {percent(coverage['heldout_unmatched_accuracy'])} "
+            f"held-out accuracy on confident calls.")
+        parts.append("")
+        parts.append(_md_table(
+            ["class", "precision", "recall", "F1", "support"],
+            [[label, f"{row['precision']:.3f}", f"{row['recall']:.3f}",
+              f"{row['f1']:.3f}", row["support"]]
+             for label, row in sorted(ml["per_class"].items())]))
     return "\n".join(parts)
 
 

@@ -1,0 +1,166 @@
+"""Pure-numpy seeded classifiers (no sklearn).
+
+Two models, both bit-reproducible for a given design matrix:
+
+- :class:`MultinomialNB` — the closed-form Laplace-smoothed baseline;
+  no iteration, no initialization, nothing to drift.
+- :class:`LogisticOVR` — one-vs-rest logistic regression trained by
+  *full-batch* gradient descent from an all-zeros initialization for a
+  *fixed* iteration count.  No shuffling, no early stopping, no random
+  init: the trained weights are a pure function of ``(X, y,
+  hyperparameters)``.
+
+Determinism hygiene shared by both: fitted parameters are rounded to
+:data:`ROUND_DECIMALS` decimals (well above float64 noise, well below
+any decision margin), and predictions argmax over *rounded* scores, so
+a last-ulp BLAS difference between platforms cannot flip a label.
+Serialized models are plain JSON and round-trip exactly.
+"""
+
+import numpy as np
+
+#: fitted parameters and scores are rounded to this many decimals
+#: before use — the cross-platform determinism guard.
+ROUND_DECIMALS = 12
+
+#: sigmoid argument clamp (exp overflow guard; gradients saturate
+#: identically on every platform).
+_CLIP = 30.0
+
+
+def _sigmoid(z):
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -_CLIP, _CLIP)))
+
+
+def _rounded(array):
+    return np.round(np.asarray(array, dtype=np.float64), ROUND_DECIMALS)
+
+
+class MultinomialNB:
+    """Laplace-smoothed multinomial naive Bayes over token counts."""
+
+    def __init__(self, alpha=1.0):
+        if alpha <= 0.0:
+            raise ValueError(f"alpha must be > 0, got {alpha}")
+        self.alpha = float(alpha)
+        self.class_log_prior = None
+        self.feature_log_prob = None
+
+    def fit(self, X, y, n_classes):
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        counts = np.zeros((n_classes, X.shape[1]), dtype=np.float64)
+        class_counts = np.zeros(n_classes, dtype=np.float64)
+        for cls in range(n_classes):
+            members = X[y == cls]
+            counts[cls] = members.sum(axis=0)
+            class_counts[cls] = members.shape[0]
+        smoothed = counts + self.alpha
+        self.feature_log_prob = _rounded(
+            np.log(smoothed)
+            - np.log(smoothed.sum(axis=1, keepdims=True)))
+        priors = np.maximum(class_counts, 1e-12)
+        self.class_log_prior = _rounded(np.log(priors)
+                                        - np.log(priors.sum()))
+        return self
+
+    def scores(self, X):
+        """Per-class log-joint scores, rounded."""
+        X = np.asarray(X, dtype=np.float64)
+        return _rounded(X @ self.feature_log_prob.T
+                        + self.class_log_prior)
+
+    def predict(self, X):
+        return np.argmax(self.scores(X), axis=1)
+
+    def proba(self, X):
+        """Softmax of the log-joint scores, rounded (rows sum to ~1)."""
+        scores = self.scores(X)
+        scores -= scores.max(axis=1, keepdims=True)
+        exp = np.exp(scores)
+        return _rounded(exp / exp.sum(axis=1, keepdims=True))
+
+    def to_json(self):
+        return {
+            "alpha": self.alpha,
+            "class_log_prior": self.class_log_prior.tolist(),
+            "feature_log_prob": [row.tolist()
+                                 for row in self.feature_log_prob],
+        }
+
+    @classmethod
+    def from_json(cls, payload):
+        model = cls(alpha=payload["alpha"])
+        model.class_log_prior = _rounded(payload["class_log_prior"])
+        model.feature_log_prob = _rounded(payload["feature_log_prob"])
+        return model
+
+
+class LogisticOVR:
+    """One-vs-rest logistic regression, fixed-step full-batch GD.
+
+    Rows are L2-normalized internally (token-count magnitudes vary with
+    list length), a bias column is appended, and weights start at zero
+    — identical inputs always produce identical weights.
+    """
+
+    def __init__(self, iters=2000, learning_rate=30.0, l2=1e-5):
+        if iters < 1:
+            raise ValueError(f"iters must be >= 1, got {iters}")
+        self.iters = int(iters)
+        self.learning_rate = float(learning_rate)
+        self.l2 = float(l2)
+        self.weights = None
+
+    @staticmethod
+    def _design(X):
+        X = np.asarray(X, dtype=np.float64)
+        norms = np.sqrt((X * X).sum(axis=1, keepdims=True))
+        X = X / np.maximum(norms, 1e-12)
+        return np.hstack([X, np.ones((X.shape[0], 1))])
+
+    def fit(self, X, y, n_classes):
+        Xb = self._design(X)
+        y = np.asarray(y, dtype=np.int64)
+        n, d = Xb.shape
+        targets = np.zeros((n, n_classes), dtype=np.float64)
+        targets[np.arange(n), y] = 1.0
+        weights = np.zeros((n_classes, d), dtype=np.float64)
+        penalty = np.ones((n_classes, d), dtype=np.float64) * self.l2
+        penalty[:, -1] = 0.0  # never regularize the bias column
+        for _ in range(self.iters):
+            probs = _sigmoid(Xb @ weights.T)
+            grad = (probs - targets).T @ Xb / n + penalty * weights
+            weights -= self.learning_rate * grad
+        self.weights = _rounded(weights)
+        return self
+
+    def scores(self, X):
+        """Per-class sigmoid scores in [0, 1], rounded."""
+        return _rounded(_sigmoid(self._design(X) @ self.weights.T))
+
+    def predict(self, X):
+        return np.argmax(self.scores(X), axis=1)
+
+    def proba(self, X):
+        """Sigmoid scores normalized per row (comparable confidences)."""
+        scores = self.scores(X)
+        return _rounded(scores
+                        / np.maximum(scores.sum(axis=1, keepdims=True),
+                                     1e-12))
+
+    def to_json(self):
+        return {
+            "iters": self.iters,
+            "learning_rate": self.learning_rate,
+            "l2": self.l2,
+            "weights": [row.tolist() for row in self.weights],
+        }
+
+    @classmethod
+    def from_json(cls, payload):
+        model = cls(iters=payload["iters"],
+                    learning_rate=payload["learning_rate"],
+                    l2=payload["l2"])
+        model.weights = _rounded(payload["weights"])
+        return model

@@ -11,7 +11,9 @@ so the campaign ledger can skip completed configs on resume.
 
 :func:`expand_grid` turns a base config plus grid axes into the unit
 list: a seed grid always, optionally per-store trust ablations
-(``"stores"``) and a fault-rate ablation (``"faults"``) per seed.
+(``"stores"``), a fault-rate ablation (``"faults"``), and a
+learned-attribution evaluation (``"ml"``, a ``stage="ml"`` unit) per
+seed.
 """
 
 import hashlib
@@ -21,10 +23,10 @@ from dataclasses import dataclass, field
 from repro.config import MAJOR_STORES, StudyConfig
 
 #: grid axes ``expand_grid`` understands.
-GRID_AXES = ("seeds", "stores", "faults")
+GRID_AXES = ("seeds", "stores", "faults", "ml")
 
 #: pipeline stages a unit may run.
-STAGES = ("full", "probe")
+STAGES = ("full", "probe", "ml")
 
 #: the fault-rate ablation applied by the ``"faults"`` axis — the same
 #: rates the equivalence matrix's ``faults-retried`` mode proves
@@ -47,7 +49,9 @@ class SweepUnit:
     #: (0.0 = no sleeping); output bytes never depend on it.
     time_scale: float = 0.0
     #: ``"full"`` runs every analysis; ``"probe"`` stops after the
-    #: certificate dataset (the network-bound half of the study).
+    #: certificate dataset (the network-bound half of the study);
+    #: ``"ml"`` trains and evaluates the learned-attribution stage
+    #: only (``repro.ml``).
     stage: str = "full"
 
     def __post_init__(self):
@@ -163,4 +167,10 @@ def expand_grid(base_config, seeds, grid=("seeds",), time_scale=0.0,
                 trust_stores=base_config.trust_stores,
                 fault_rates=FAULT_ABLATION,
                 time_scale=time_scale, stage=stage))
+        if "ml" in axes:
+            units.append(SweepUnit(
+                name=f"seed{seed}-ml", seed=seed,
+                retries=base_retries,
+                trust_stores=base_config.trust_stores,
+                time_scale=time_scale, stage="ml"))
     return tuple(units)

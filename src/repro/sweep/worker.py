@@ -134,6 +134,20 @@ def run_unit(payload):
                 }
                 issuer_shares = {}
                 invariants = {}
+            elif unit.stage == "ml":
+                from repro.ml import evaluate_study
+                eval_payload = evaluate_study(study)
+                node_digests = {
+                    "ml.eval_report": digest(eval_payload)}
+                scalars = {
+                    "ml_macro_f1": eval_payload["macro"]["f1"],
+                    "ml_heldout_accuracy": eval_payload["accuracy"],
+                    "ml_attribution_coverage":
+                        eval_payload["coverage"]
+                        ["attribution_coverage"],
+                }
+                issuer_shares = {}
+                invariants = {}
             else:
                 node_digests = {}
                 results = run_full_study(

@@ -56,7 +56,7 @@ class TestFigure6:
 class TestExportAll:
     def test_writes_all_files(self, study, tmp_path):
         written = figures.export_all(study, tmp_path)
-        assert len(written) == 8
+        assert len(written) == 9
         for path in written:
             payload = json.loads(path.read_text())
             assert payload  # non-empty, valid JSON

@@ -18,7 +18,7 @@ class TestPipelineCompleteness:
         "server_tie_fraction", "server_ties", "semantic_summary",
         "versions", "fallback", "ocsp", "grease",
         "lowest_vulnerable_index", "clean_vendors",
-        "preferred_components",
+        "preferred_components", "ml_attribution",
     }
     SERVER_KEYS = {
         "probe_stats", "issuers", "survey", "validation_failures",

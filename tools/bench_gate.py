@@ -73,19 +73,50 @@ BENCHES = {
         "metric": "speedup",
         "kind": "ratio",
     },
+    "ml": {
+        "script": "benchmarks/bench_ml.py",
+        "baseline": "BENCH_ml.json",
+        "metric": "coverage_gain",
+        "kind": "ratio",
+    },
 }
 
+#: the benchmarks gated when ``--bench`` is not given (sweep is nightly
+#: only — too slow for the PR gate).
+DEFAULT_GATE = ("probe", "store", "obs", "serve", "match", "fabric",
+                "ml")
 
-def parse_overrides(pairs):
-    """``["store=0.5"]`` → ``{"store": 0.5}`` (validated names)."""
+
+def _usage_error(message):
+    """One-line error on stderr, exit 2 (argparse's usage-error code)."""
+    print(f"bench_gate: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def parse_overrides(pairs, gated):
+    """``["store=0.5"]`` → ``{"store": 0.5}`` (validated names).
+
+    Every override must name a benchmark that is *actively gated* this
+    run — an override for an unknown or un-gated name used to be
+    silently ignored, which let typos neutralise a tolerance bump.
+    """
     overrides = {}
     for pair in pairs:
         name, _, value = pair.partition("=")
         if name not in BENCHES or not value:
-            raise SystemExit(
+            _usage_error(
                 f"bad --override {pair!r}; expected NAME=TOLERANCE "
-                f"with NAME in {sorted(BENCHES)}")
-        overrides[name] = float(value)
+                f"with NAME one of {', '.join(sorted(BENCHES))}")
+        if name not in gated:
+            _usage_error(
+                f"--override {pair!r} names a benchmark not gated "
+                f"this run; gated: {', '.join(gated)}")
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            _usage_error(
+                f"bad --override {pair!r}; tolerance {value!r} is "
+                f"not a number")
     return overrides
 
 
@@ -127,8 +158,7 @@ def main(argv=None):
     parser.add_argument("--bench", action="append", dest="benches",
                         choices=sorted(BENCHES), default=None,
                         help="gate only these benchmarks (repeatable; "
-                             "default: probe, store, obs, serve, "
-                             "match, fabric)")
+                             f"default: {', '.join(DEFAULT_GATE)})")
     parser.add_argument("--tolerance", type=float, default=0.3,
                         help="allowed fractional regression for ratio "
                              "metrics (default %(default)s)")
@@ -144,11 +174,11 @@ def main(argv=None):
     # serve's headline is an absolute throughput (machine-dependent,
     # unlike the self-relative speedup ratios), so it defaults to a
     # looser floor; --override serve=... still wins.
-    names = args.benches or ["probe", "store", "obs", "serve", "match",
-                             "fabric"]
-    args.override = [f"serve={max(0.7, args.tolerance)}"] \
-        + args.override
-    overrides = parse_overrides(args.override)
+    names = list(args.benches or DEFAULT_GATE)
+    if "serve" in names:
+        args.override = [f"serve={max(0.7, args.tolerance)}"] \
+            + args.override
+    overrides = parse_overrides(args.override, names)
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
 
